@@ -1,0 +1,317 @@
+// Benchmark harness: one benchmark per paper table/figure plus
+// micro-benchmarks of the hot paths. The figure benchmarks run the
+// corresponding experiment at a reduced-but-meaningful scale and report the
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates (a scaled version of) every row/series the paper reports and
+// prints its shape next to the timing.
+package nostop
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/baselines"
+	"nostop/internal/broker"
+	"nostop/internal/engine"
+	"nostop/internal/experiments"
+	"nostop/internal/linalg"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/spsa"
+	"nostop/internal/workload"
+)
+
+// benchCfg is the experiment scale used by the figure benchmarks: large
+// enough for every qualitative shape, small enough for a fast -bench run.
+func benchCfg(seed uint64) experiments.Config {
+	return experiments.Config{Seed: seed, Repetitions: 1, Horizon: 40 * time.Minute, Warmup: 0.6}
+}
+
+// cellMean parses the numeric head of a table cell ("12.34 ± 0.56" → 12.34).
+func cellMean(cell string) float64 {
+	head := strings.TrimSpace(strings.SplitN(cell, "±", 2)[0])
+	head = strings.TrimSuffix(head, "x")
+	v, _ := strconv.ParseFloat(strings.TrimSpace(head), 64)
+	return v
+}
+
+func BenchmarkTable2Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		if len(t.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig2BatchInterval(b *testing.B) {
+	var knee float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig2(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// First stable row's interval: the measured knee.
+		for _, row := range t.Rows {
+			if row[4] == "true" {
+				knee = cellMean(row[0])
+				break
+			}
+		}
+	}
+	b.ReportMetric(knee, "knee_interval_s")
+}
+
+func BenchmarkFig3Executors(b *testing.B) {
+	var bestProc float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig3(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestProc = 1e18
+		for _, row := range t.Rows {
+			if p := cellMean(row[1]); p < bestProc {
+				bestProc = p
+			}
+		}
+	}
+	b.ReportMetric(bestProc, "best_proc_s")
+}
+
+func BenchmarkFig5Rates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig5(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig6Evolution(b *testing.B) {
+	var iters float64
+	for i := 0; i < b.N; i++ {
+		interval, _, err := experiments.Fig6Series(benchCfg(uint64(i+1)), "logreg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = float64(interval.Len())
+	}
+	b.ReportMetric(iters, "iterations")
+}
+
+func BenchmarkFig7Improvement(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = 0
+		for _, row := range t.Rows {
+			improvement += cellMean(row[3])
+		}
+		improvement /= float64(len(t.Rows))
+	}
+	b.ReportMetric(improvement, "mean_improvement_x")
+}
+
+func BenchmarkFig8SPSAvsBO(b *testing.B) {
+	var spsaSteps, boSteps float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig8(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		spsaSteps, boSteps = 0, 0
+		for _, row := range t.Rows {
+			if strings.HasPrefix(row[1], "SPSA") {
+				spsaSteps += cellMean(row[4])
+			} else {
+				boSteps += cellMean(row[4])
+			}
+		}
+	}
+	b.ReportMetric(spsaSteps/4, "spsa_config_steps")
+	b.ReportMetric(boSteps/4, "bo_config_steps")
+}
+
+func BenchmarkBackPressure(b *testing.B) {
+	var nostopTput float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.BackPressure(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nostopTput = cellMean(t.Rows[2][4])
+	}
+	b.ReportMetric(nostopTput, "nostop_throughput_rec_s")
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) ---
+
+func benchAblation(b *testing.B, fn func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := fn(benchCfg(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) < 2 {
+			b.Fatal("ablation produced too few rows")
+		}
+	}
+}
+
+func BenchmarkAblationPenaltyRamp(b *testing.B) { benchAblation(b, experiments.AblationPenaltyRamp) }
+func BenchmarkAblationFirstBatch(b *testing.B)  { benchAblation(b, experiments.AblationFirstBatch) }
+func BenchmarkAblationWindow(b *testing.B)      { benchAblation(b, experiments.AblationWindow) }
+func BenchmarkAblationReset(b *testing.B)       { benchAblation(b, experiments.AblationReset) }
+func BenchmarkAblationGains(b *testing.B)       { benchAblation(b, experiments.AblationGains) }
+func BenchmarkAblationScaling(b *testing.B)     { benchAblation(b, experiments.AblationScaling) }
+func BenchmarkAblationStepClip(b *testing.B)    { benchAblation(b, experiments.AblationStepClip) }
+func BenchmarkAblationObjective(b *testing.B)   { benchAblation(b, experiments.AblationObjective) }
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkEngineHour measures simulating one virtual hour of a tuned
+// streaming system (the unit of work behind every figure above).
+func BenchmarkEngineHour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		seed := rng.New(uint64(i + 1))
+		wl := workload.NewWordCount()
+		min, max := wl.RateBand()
+		eng, err := engine.New(clock, engine.Options{
+			Workload: wl,
+			Trace:    ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split("t")),
+			Seed:     seed.Split("e"),
+			Initial:  engine.Config{BatchInterval: 10 * time.Second, Executors: 12},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Start()
+		clock.RunUntil(sim.Time(time.Hour))
+		if len(eng.History()) == 0 {
+			b.Fatal("no batches")
+		}
+	}
+}
+
+func BenchmarkSPSAIteration(b *testing.B) {
+	opt, err := spsa.New([]float64{10, 10}, []float64{1, 1}, []float64{20, 20},
+		spsa.DefaultParams(19, 2), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plus, minus, err := opt.Perturb()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := opt.Update(plus[0]+plus[1], minus[0]+minus[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPFitPredict(b *testing.B) {
+	r := rng.New(9)
+	xs := make([][]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = []float64{r.Float64(), r.Float64()}
+		ys[i] = r.Norm(10, 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp, err := baselines.NewGP(0.2, 9, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		if _, v := gp.Predict([]float64{0.5, 0.5}); v <= 0 {
+			b.Fatal("bad variance")
+		}
+	}
+}
+
+func BenchmarkCholesky32(b *testing.B) {
+	r := rng.New(4)
+	n := 32
+	base := linalg.NewMatrix(n, n)
+	for i := range base.Data {
+		base.Data[i] = r.Norm(0, 1)
+	}
+	a := base.Transpose().Mul(base)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordCountBatch(b *testing.B) {
+	wl := workload.NewWordCount()
+	recs := genRecords(wl, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := wl.ProcessBatch(recs); res.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func BenchmarkLogRegSGDBatch(b *testing.B) {
+	wl := workload.NewLogisticRegression()
+	recs := genRecords(wl, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := wl.ProcessBatch(recs); res.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func BenchmarkPageAnalyzeBatch(b *testing.B) {
+	wl := workload.NewPageAnalyze()
+	recs := genRecords(wl, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := wl.ProcessBatch(recs); res.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func genRecords(wl workload.Workload, n int) []broker.Record {
+	r := rng.New(3)
+	out := make([]broker.Record, n)
+	for i := range out {
+		out[i] = broker.Record{Offset: int64(i), Value: wl.GenValue(int64(i), r)}
+	}
+	return out
+}
+
+// --- Extension benchmarks (the paper's §7 future work, implemented) ---
+
+func BenchmarkExtension3Param(b *testing.B)    { benchAblation(b, experiments.Extension3Param) }
+func BenchmarkExtensionAutoGains(b *testing.B) { benchAblation(b, experiments.ExtensionAutoGains) }
+func BenchmarkExtensionFailure(b *testing.B)   { benchAblation(b, experiments.ExtensionNodeFailure) }

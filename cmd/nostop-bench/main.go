@@ -1,0 +1,99 @@
+// Command nostop-bench regenerates the paper's tables and figures against
+// the simulated substrate and prints them as text tables (or CSV).
+//
+// Examples:
+//
+//	nostop-bench -experiment all
+//	nostop-bench -experiment fig7 -reps 5 -horizon 2h
+//	nostop-bench -experiment fig2 -csv > fig2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nostop/internal/experiments"
+)
+
+var registry = map[string]func(experiments.Config) (*experiments.Table, error){
+	"fig2":           experiments.Fig2,
+	"fig3":           experiments.Fig3,
+	"fig5":           experiments.Fig5,
+	"fig6":           experiments.Fig6,
+	"fig7":           experiments.Fig7,
+	"fig8":           experiments.Fig8,
+	"backpressure":   experiments.BackPressure,
+	"abl-penalty":    experiments.AblationPenaltyRamp,
+	"abl-firstbatch": experiments.AblationFirstBatch,
+	"abl-window":     experiments.AblationWindow,
+	"abl-reset":      experiments.AblationReset,
+	"abl-gains":      experiments.AblationGains,
+	"abl-scaling":    experiments.AblationScaling,
+	"abl-stepclip":   experiments.AblationStepClip,
+	"abl-objective":  experiments.AblationObjective,
+	"ext-3param":     experiments.Extension3Param,
+	"ext-autogains":  experiments.ExtensionAutoGains,
+	"ext-failure":    experiments.ExtensionNodeFailure,
+}
+
+func names() string {
+	out := []string{"all", "table2"}
+	for k := range registry {
+		out = append(out, k)
+	}
+	return strings.Join(out, ", ")
+}
+
+func main() {
+	var (
+		name    = flag.String("experiment", "all", "experiment to run: "+names())
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		reps    = flag.Int("reps", 0, "repetitions for averaged experiments (0: paper's 5)")
+		horizon = flag.Duration("horizon", 0, "virtual run duration (0: 2h)")
+		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Repetitions: *reps, Horizon: *horizon}
+	if *quick {
+		cfg = experiments.Quick()
+		cfg.Seed = *seed
+	}
+
+	switch *name {
+	case "all":
+		if *csv {
+			fmt.Fprintln(os.Stderr, "nostop-bench: -csv requires a single experiment")
+			os.Exit(2)
+		}
+		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
+	case "table2":
+		emit(experiments.Table2(), *csv)
+	default:
+		fn, ok := registry[*name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nostop-bench: unknown experiment %q (valid: %s)\n", *name, names())
+			os.Exit(2)
+		}
+		t, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
+		emit(t, *csv)
+	}
+}
+
+func emit(t *experiments.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+		return
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,182 @@
+// Command nostop-sim runs one simulated Spark-Streaming application under a
+// chosen tuner and prints per-phase progress plus a final summary.
+//
+// Examples:
+//
+//	nostop-sim -workload logreg -horizon 2h
+//	nostop-sim -workload wordcount -tuner bayesopt -seed 7
+//	nostop-sim -workload pageanalyze -tuner none -interval 12s -executors 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nostop/internal/baselines"
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "wordcount", "workload: logreg, linreg, wordcount, pageanalyze")
+		tuner     = flag.String("tuner", "nostop", "tuner: nostop, bayesopt, backpressure, random, none")
+		horizon   = flag.Duration("horizon", time.Hour, "virtual run duration")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		interval  = flag.Duration("interval", 0, "initial batch interval (default: engine default 30s)")
+		executors = flag.Int("executors", 0, "initial executor count (default: engine default 8)")
+		rateMin   = flag.Float64("rate-min", 0, "override workload band minimum (records/s)")
+		rateMax   = flag.Float64("rate-max", 0, "override workload band maximum (records/s)")
+		report    = flag.Duration("report", 10*time.Minute, "progress report period (virtual)")
+		failNode  = flag.Int("fail-node", 0, "kill this node ID mid-run (0: no failure)")
+		failAt    = flag.Duration("fail-at", 0, "virtual time of the node failure (default: half the horizon)")
+	)
+	flag.Parse()
+	if *failAt == 0 {
+		*failAt = *horizon / 2
+	}
+	if err := run(*wlName, *tuner, *horizon, *seed, *interval, *executors, *rateMin, *rateMax, *report, *failNode, *failAt); err != nil {
+		fmt.Fprintln(os.Stderr, "nostop-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName, tuner string, horizon time.Duration, seedN uint64,
+	interval time.Duration, executors int, rateMin, rateMax float64, report time.Duration,
+	failNode int, failAt time.Duration) error {
+	seed := rng.New(seedN)
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return err
+	}
+	min, max := wl.RateBand()
+	if rateMin > 0 {
+		min = rateMin
+	}
+	if rateMax > 0 {
+		max = rateMax
+	}
+	if max < min {
+		return fmt.Errorf("rate band [%v, %v] inverted", min, max)
+	}
+	trace := ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split("trace"))
+
+	initial := engine.DefaultConfig()
+	if interval > 0 {
+		initial.BatchInterval = interval
+	}
+	if executors > 0 {
+		initial.Executors = executors
+	}
+
+	clock := sim.NewClock()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  initial,
+	})
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+
+	var ctl *core.Controller
+	var bo *baselines.BayesOpt
+	switch tuner {
+	case "nostop":
+		ctl, err = core.New(eng, core.Options{Seed: seed.Split("controller")})
+		if err == nil {
+			err = ctl.Attach()
+		}
+	case "bayesopt":
+		bo, err = baselines.NewBayesOpt(eng, baselines.BOOptions{Seed: seed.Split("bo")})
+		if err == nil {
+			err = bo.Attach()
+		}
+	case "backpressure":
+		var bp *baselines.BackPressure
+		bp, err = baselines.NewBackPressure(eng, baselines.BPOptions{})
+		if err == nil {
+			err = bp.Attach()
+		}
+	case "random":
+		var rs *baselines.RandomSearch
+		rs, err = baselines.NewRandomSearch(eng, baselines.RSOptions{Seed: seed.Split("rs")})
+		if err == nil {
+			err = rs.Attach()
+		}
+	case "none":
+	default:
+		return fmt.Errorf("unknown tuner %q", tuner)
+	}
+	if err != nil {
+		return err
+	}
+
+	if failNode > 0 {
+		node, at := failNode, failAt
+		clock.At(sim.Time(at), func() {
+			if err := eng.FailNode(node); err != nil {
+				fmt.Fprintf(os.Stderr, "fail-node: %v\n", err)
+			} else {
+				fmt.Printf("t=%7s  node %d FAILED (%d executors survive)\n",
+					at.Truncate(time.Second), node, eng.LiveExecutors())
+			}
+		})
+	}
+
+	fmt.Printf("workload %s, band [%.0f, %.0f] rec/s, tuner %s, horizon %v, initial %v\n\n",
+		wl.Name(), min, max, tuner, horizon, initial)
+
+	for t := sim.Time(report); t <= sim.Time(horizon); t += sim.Time(report) {
+		clock.RunUntil(t)
+		h := eng.History()
+		var tail []float64
+		for _, b := range h[len(h)*8/10:] {
+			tail = append(tail, b.EndToEndDelay.Seconds())
+		}
+		status := ""
+		if ctl != nil {
+			status = fmt.Sprintf("  phase=%-9v iters=%d", ctl.Phase(), len(ctl.Iterations()))
+		}
+		if bo != nil {
+			status = fmt.Sprintf("  evals=%d done=%v", len(bo.Evaluations()), bo.Done())
+		}
+		fmt.Printf("t=%7s  cfg=%v  queue=%d  rate=%.0f/s  recent e2e=%.1fs%s\n",
+			time.Duration(t).Truncate(time.Second), eng.Config(), eng.QueueLen(),
+			eng.RecentRateMean(), stats.Mean(tail), status)
+	}
+
+	h := eng.History()
+	var all, tail []float64
+	for i, b := range h {
+		all = append(all, b.EndToEndDelay.Seconds())
+		if i >= len(h)*7/10 {
+			tail = append(tail, b.EndToEndDelay.Seconds())
+		}
+	}
+	s := stats.Summarize(tail)
+	fmt.Printf("\nsummary: %d batches, %d records\n", len(h), eng.TotalRecords())
+	fmt.Printf("  steady-state e2e delay: mean %.2fs  p50 %.2fs  p95 %.2fs  max %.2fs\n",
+		s.Mean, s.P50, s.P95, s.Max)
+	fmt.Printf("  whole-run e2e delay:    mean %.2fs\n", stats.Mean(all))
+	fmt.Printf("  final configuration:    %v\n", eng.Config())
+	if ctl != nil {
+		fmt.Printf("  nostop: %d iterations, %d configure steps, %d pauses, %d resets, %d drains\n",
+			len(ctl.Iterations()), ctl.ConfigureSteps(), ctl.Pauses(), ctl.Resets(), ctl.Drains())
+	}
+	if dropped := eng.DroppedByCap(); dropped > 0 {
+		fmt.Printf("  records dropped by rate cap: %d\n", dropped)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Custom black box: the paper claims the SPSA framework "is generic and
+// hence is applicable to other big data computing systems" (§1). This
+// example tunes a system the library has never seen — a simulated web
+// service with two knobs (worker pool size and cache TTL) and a noisy,
+// non-convex latency response — using only the internal/spsa package.
+//
+//	go run ./examples/custombox
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nostop/internal/rng"
+	"nostop/internal/spsa"
+)
+
+// service models p99 latency (ms) of a web service:
+//   - too few workers → queueing latency explodes,
+//   - too many workers → contention overhead,
+//   - short cache TTL → low hit rate → backend load,
+//   - long cache TTL → staleness forces revalidation storms.
+//
+// The optimum is near (workers≈24, ttl≈45s); measurements carry ~5% noise.
+type service struct {
+	noise *rng.Stream
+}
+
+func (s *service) p99(workers, ttlSecs float64) float64 {
+	queueing := 900.0 / math.Max(workers, 1) // queueing drops with pool size
+	contention := 0.35 * workers             // lock contention grows
+	hitRate := 1 - math.Exp(-ttlSecs/20)     // cache warms with TTL
+	backend := 140 * (1 - hitRate)           // misses hit the backend
+	staleness := 0.002 * ttlSecs * ttlSecs   // revalidation storms
+	base := 12 + queueing + contention + backend + staleness
+	return base * s.noise.NoiseFactor(0.05)
+}
+
+func main() {
+	svc := &service{noise: rng.New(99).Split("measurements")}
+
+	// Normalise both knobs into a shared range (§5.1), exactly as NoStop
+	// does for batch interval and executor count.
+	workerScale, err := spsa.NewScale(1, 64, 1, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ttlScale, err := spsa.NewScale(1, 120, 1, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	objective := func(x []float64) float64 {
+		return svc.p99(workerScale.FromNorm(x[0]), ttlScale.FromNorm(x[1]))
+	}
+
+	// §5.6 guidance: A small, a = half the range, c ≈ measurement noise.
+	params := spsa.DefaultParams(19, 4)
+	params.MaxStep = 4
+
+	fmt.Println("iter   workers   ttl(s)   p99(ms)")
+	best, err := spsa.Minimize(objective,
+		[]float64{10, 10}, // θ_initial mid-range
+		[]float64{1, 1},   // normalised lower bounds
+		[]float64{20, 20}, // normalised upper bounds
+		params, rng.New(5), 120,
+		func(step spsa.Step) {
+			if step.K%10 != 0 {
+				return
+			}
+			w := workerScale.FromNorm(step.Theta[0])
+			ttl := ttlScale.FromNorm(step.Theta[1])
+			fmt.Printf("%4d   %7.1f   %6.1f   %7.1f\n",
+				step.K, w, ttl, math.Min(step.YPlus, step.YMinus))
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := workerScale.FromNorm(best[0])
+	ttl := ttlScale.FromNorm(best[1])
+	fmt.Printf("\ntuned: %.0f workers, %.0fs TTL → p99 ≈ %.1fms\n", w, ttl, svc.p99(w, ttl))
+
+	// Reference: coarse grid search (what SPSA avoided paying for).
+	bestGrid, bw, bt := math.Inf(1), 0.0, 0.0
+	probes := 0
+	for gw := 1.0; gw <= 64; gw += 3 {
+		for gt := 1.0; gt <= 120; gt += 6 {
+			probes++
+			if v := svc.p99(gw, gt); v < bestGrid {
+				bestGrid, bw, bt = v, gw, gt
+			}
+		}
+	}
+	fmt.Printf("grid search reference: %.0f workers, %.0fs TTL → p99 ≈ %.1fms (%d probes vs SPSA's %d)\n",
+		bw, bt, bestGrid, probes, 2*120)
+}

@@ -1,0 +1,105 @@
+// Quickstart: tune a simulated Spark-Streaming WordCount job with NoStop.
+//
+// The engine starts on the untuned default configuration (30s batch
+// interval, 8 executors). NoStop attaches as a listener, probes the
+// configuration space with SPSA, and settles near the stability frontier.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+func main() {
+	seed := rng.New(42)
+
+	// 1. A virtual clock drives everything deterministically.
+	clock := sim.NewClock()
+
+	// 2. The workload and its paper input band: WordCount fed at a rate
+	//    re-drawn uniformly in [110k, 190k] records/s every 5 seconds.
+	wl := workload.NewWordCount()
+	min, max := wl.RateBand()
+	trace := ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split("trace"))
+
+	// 3. The micro-batch engine on the paper's Table 2 cluster.
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(), // untuned: 30s interval, 8 executors
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. NoStop with the paper's settings (A=1, a=10, c=2, θ_init mid-range).
+	ctl, err := core.New(eng, core.Options{Seed: seed.Split("nostop")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Attach(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Run two virtual hours and watch the configuration evolve.
+	fmt.Println("time     configuration                  phase      recent e2e")
+	for t := 10 * time.Minute; t <= 2*time.Hour; t += 10 * time.Minute {
+		clock.RunUntil(sim.Time(t))
+		h := eng.History()
+		var tail []float64
+		for _, b := range h[len(h)*8/10:] {
+			tail = append(tail, b.EndToEndDelay.Seconds())
+		}
+		fmt.Printf("%-8v %-30v %-10v %6.1fs\n",
+			t, eng.Config(), ctl.Phase(), stats.Mean(tail))
+	}
+
+	// 6. Final report: compare against an identical run that keeps the
+	//    default configuration (same seeds, same trace — only the tuner
+	//    differs).
+	refClock := sim.NewClock()
+	refSeed := rng.New(42)
+	refWl := workload.NewWordCount()
+	ref, err := engine.New(refClock, engine.Options{
+		Workload: refWl,
+		Trace:    ratetrace.NewUniformBand(min, max, 5*time.Second, refSeed.Split("trace")),
+		Seed:     refSeed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ref.Start(); err != nil {
+		log.Fatal(err)
+	}
+	refClock.RunUntil(sim.Time(2 * time.Hour))
+
+	tail := func(h []engine.BatchStats) float64 {
+		var xs []float64
+		for _, b := range h[len(h)*7/10:] {
+			xs = append(xs, b.EndToEndDelay.Seconds())
+		}
+		return stats.Mean(xs)
+	}
+	untuned := tail(ref.History())
+	tuned := tail(eng.History())
+	fmt.Printf("\nsteady-state end-to-end delay: %.1fs untuned → %.1fs tuned (%.1fx better)\n",
+		untuned, tuned, untuned/tuned)
+	fmt.Printf("final configuration: %v after %d SPSA iterations\n",
+		eng.Config(), len(ctl.Iterations()))
+}

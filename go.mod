@@ -1,0 +1,3 @@
+module nostop
+
+go 1.22

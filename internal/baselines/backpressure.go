@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"nostop/internal/engine"
+)
+
+// BPOptions tune the back-pressure controller. The gains default to Spark's
+// spark.streaming.backpressure.pid.* values.
+type BPOptions struct {
+	// Proportional gain; 0 means Spark's default 1.0.
+	Kp float64
+	// Integral gain on the backlog error; 0 means Spark's default 0.2.
+	Ki float64
+	// Derivative gain; 0 means Spark's default 0 (field kept for parity).
+	Kd float64
+	// MinRate floors the ingestion bound (records/second); 0 means 100,
+	// matching spark.streaming.backpressure.pid.minRate.
+	MinRate float64
+}
+
+// BackPressure reproduces Spark Streaming's PID rate estimator
+// (PIDRateEstimator): after every completed batch it re-estimates the rate
+// the system can sustain and throttles ingestion to it. Unlike NoStop it
+// never touches batch interval or executor count — it defends stability by
+// *dropping/deferring input*, which is exactly the behavioural contrast the
+// paper draws: back pressure keeps the system alive but sacrifices
+// throughput, while NoStop reconfigures so the system can absorb the full
+// stream.
+type BackPressure struct {
+	eng  *engine.Engine
+	opts BPOptions
+
+	latestRate float64
+	lastError  float64
+	lastTime   float64 // seconds
+	updates    int
+	attached   bool
+}
+
+// NewBackPressure builds the controller.
+func NewBackPressure(eng *engine.Engine, opts BPOptions) (*BackPressure, error) {
+	if eng == nil {
+		return nil, errors.New("baselines: nil engine")
+	}
+	if opts.Kp == 0 {
+		opts.Kp = 1.0
+	}
+	if opts.Ki == 0 {
+		opts.Ki = 0.2
+	}
+	if opts.MinRate == 0 {
+		opts.MinRate = 100
+	}
+	return &BackPressure{eng: eng, opts: opts}, nil
+}
+
+// Attach registers the controller with the engine.
+func (b *BackPressure) Attach() error {
+	if b.attached {
+		return errors.New("baselines: already attached")
+	}
+	b.attached = true
+	b.eng.AddListener(engine.ListenerFunc(b.onBatch))
+	return nil
+}
+
+// onBatch is a direct port of PIDRateEstimator.compute: the error is the
+// gap between the current ingestion rate and the measured processing rate,
+// and the integral term charges the standing backlog (scheduling delay) at
+// the processing rate.
+func (b *BackPressure) onBatch(bs engine.BatchStats) {
+	procSecs := bs.ProcessingTime.Seconds()
+	if bs.Records == 0 || procSecs <= 0 {
+		return
+	}
+	now := bs.DoneAt.Seconds()
+	delaySinceUpdate := now - b.lastTime
+	if b.updates == 0 {
+		delaySinceUpdate = bs.Config.BatchInterval.Seconds()
+	}
+	if delaySinceUpdate <= 0 {
+		delaySinceUpdate = 1e-3
+	}
+	processingRate := float64(bs.Records) / procSecs
+	if b.latestRate == 0 {
+		// Bootstrap from the first observation, as Spark does.
+		b.latestRate = float64(bs.Records) / bs.Config.BatchInterval.Seconds()
+	}
+	err := b.latestRate - processingRate
+	histErr := bs.SchedulingDelay.Seconds() * processingRate / bs.Config.BatchInterval.Seconds()
+	dErr := (err - b.lastError) / delaySinceUpdate
+
+	newRate := b.latestRate - b.opts.Kp*err - b.opts.Ki*histErr - b.opts.Kd*dErr
+	newRate = math.Max(newRate, b.opts.MinRate)
+
+	b.latestRate = newRate
+	b.lastError = err
+	b.lastTime = now
+	b.updates++
+	b.eng.SetIngestCap(newRate)
+}
+
+// Rate returns the current ingestion bound (records/second); 0 before the
+// first update.
+func (b *BackPressure) Rate() float64 { return b.latestRate }
+
+// Updates returns how many PID updates have run.
+func (b *BackPressure) Updates() int { return b.updates }

@@ -1,0 +1,181 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/rng"
+	"nostop/internal/stats"
+)
+
+// RSOptions tune the random-search controller.
+type RSOptions struct {
+	// Evaluations is the number of random configurations tried; 0 means 20.
+	Evaluations int
+	// MeasureBatches is the per-evaluation window; 0 means 3.
+	MeasureBatches int
+	// Rho is the Eq. 3 penalty; 0 means 2.
+	Rho float64
+	// DrainThreshold mirrors core.Options.DrainThreshold; 0 means 6.
+	DrainThreshold int
+	// Seed drives the sampling; nil means rng.New(5).
+	Seed *rng.Stream
+}
+
+// RandomSearch is the naive §2 search baseline: sample configurations
+// uniformly at random, measure each, then hold the best. The paper dismisses
+// exhaustive search as intractable; random search is its budgeted stand-in
+// and a sanity floor for the tuners.
+type RandomSearch struct {
+	eng  *engine.Engine
+	opts RSOptions
+	r    *rng.Stream
+
+	evals    []Evaluation
+	current  engine.Config
+	procAcc  []float64
+	totalAcc []float64
+	await    bool
+	waited   int
+	draining bool
+	done     bool
+	applied  int
+	attached bool
+}
+
+// NewRandomSearch builds the controller.
+func NewRandomSearch(eng *engine.Engine, opts RSOptions) (*RandomSearch, error) {
+	if eng == nil {
+		return nil, errors.New("baselines: nil engine")
+	}
+	if opts.Evaluations == 0 {
+		opts.Evaluations = 20
+	}
+	if opts.MeasureBatches == 0 {
+		opts.MeasureBatches = 3
+	}
+	if opts.Rho == 0 {
+		opts.Rho = 2
+	}
+	if opts.DrainThreshold == 0 {
+		opts.DrainThreshold = 6
+	}
+	if opts.Seed == nil {
+		opts.Seed = rng.New(5)
+	}
+	return &RandomSearch{eng: eng, opts: opts, r: opts.Seed.Split("random-search")}, nil
+}
+
+// Attach registers with the engine and applies the first sample.
+func (rs *RandomSearch) Attach() error {
+	if rs.attached {
+		return errors.New("baselines: already attached")
+	}
+	rs.attached = true
+	rs.eng.AddListener(engine.ListenerFunc(rs.onBatch))
+	return rs.evaluate(rs.sample())
+}
+
+func (rs *RandomSearch) sample() engine.Config {
+	b := rs.eng.ConfigBounds()
+	interval := time.Duration(rs.r.Uniform(b.MinInterval.Seconds(), b.MaxInterval.Seconds()) * float64(time.Second))
+	execs := b.MinExecutors + rs.r.Intn(b.MaxExecutors-b.MinExecutors+1)
+	return b.Clamp(engine.Config{
+		BatchInterval: interval.Round(100 * time.Millisecond),
+		Executors:     execs,
+	})
+}
+
+func (rs *RandomSearch) evaluate(cfg engine.Config) error {
+	rs.current = cfg
+	rs.procAcc = rs.procAcc[:0]
+	rs.totalAcc = rs.totalAcc[:0]
+	rs.await = cfg != rs.eng.Config()
+	rs.waited = 0
+	rs.applied++
+	return rs.eng.Reconfigure(cfg)
+}
+
+func (rs *RandomSearch) onBatch(bs engine.BatchStats) {
+	if rs.done {
+		return
+	}
+	if rs.draining {
+		if rs.eng.QueueLen() == 0 && bs.SchedulingDelay <= bs.Config.BatchInterval {
+			rs.draining = false
+			rs.next()
+		}
+		return
+	}
+	if rs.await {
+		if bs.FirstAfterReconfig {
+			rs.await = false
+			return
+		}
+		rs.waited++
+		if rs.waited < 25 {
+			return
+		}
+		rs.await = false
+	} else if bs.FirstAfterReconfig {
+		return
+	}
+	rs.procAcc = append(rs.procAcc, bs.ProcessingTime.Seconds())
+	rs.totalAcc = append(rs.totalAcc, bs.ProcessingTime.Seconds()+bs.SchedulingDelay.Seconds())
+	if q := rs.eng.QueueLen(); q > rs.opts.DrainThreshold {
+		rs.record(stats.Mean(rs.totalAcc) + float64(q)*stats.Mean(rs.procAcc))
+		rs.draining = true
+		rs.applied++
+		b := rs.eng.ConfigBounds()
+		_ = rs.eng.Reconfigure(engine.Config{BatchInterval: b.MaxInterval, Executors: b.MaxExecutors})
+		return
+	}
+	if len(rs.totalAcc) < rs.opts.MeasureBatches {
+		return
+	}
+	rs.record(stats.Mean(rs.totalAcc))
+	rs.next()
+}
+
+func (rs *RandomSearch) record(measured float64) {
+	interval := rs.current.BatchInterval.Seconds()
+	y := interval + rs.opts.Rho*math.Max(0, measured-interval)
+	rs.evals = append(rs.evals, Evaluation{Config: rs.current, Y: y, At: rs.eng.Clock().Now()})
+}
+
+func (rs *RandomSearch) next() {
+	if len(rs.evals) >= rs.opts.Evaluations {
+		rs.done = true
+		if best, ok := rs.Best(); ok {
+			rs.applied++
+			_ = rs.eng.Reconfigure(best.Config)
+		}
+		return
+	}
+	_ = rs.evaluate(rs.sample())
+}
+
+// Best returns the lowest-objective evaluation so far.
+func (rs *RandomSearch) Best() (Evaluation, bool) {
+	if len(rs.evals) == 0 {
+		return Evaluation{}, false
+	}
+	best := rs.evals[0]
+	for _, e := range rs.evals[1:] {
+		if e.Y < best.Y {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// Evaluations returns all samples in order.
+func (rs *RandomSearch) Evaluations() []Evaluation { return rs.evals }
+
+// Done reports whether the budget is exhausted.
+func (rs *RandomSearch) Done() bool { return rs.done }
+
+// ConfigureSteps returns the configuration changes requested.
+func (rs *RandomSearch) ConfigureSteps() int { return rs.applied }

@@ -1,0 +1,272 @@
+// Package cluster models the heterogeneous compute cluster of the paper's
+// testbed (Table 2): one master and four workers with different CPU
+// generations and disk classes. Executors are allocated 1 core + 1 GB each
+// (§6.2.1) and placed across workers; each executor inherits its host
+// node's speed and disk factors, which feed the workload cost models.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DiskClass distinguishes the storage technology of a node.
+type DiskClass int
+
+// Disk classes from Table 2 ("HHD" in the paper is a typo for HDD).
+const (
+	SSD DiskClass = iota
+	HDD
+)
+
+// String implements fmt.Stringer.
+func (d DiskClass) String() string {
+	if d == SSD {
+		return "SSD"
+	}
+	return "HDD"
+}
+
+// Role distinguishes the master from workers.
+type Role int
+
+// Node roles.
+const (
+	Master Role = iota
+	Worker
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == Master {
+		return "Master"
+	}
+	return "Worker"
+}
+
+// NodeSpec describes one cluster node.
+type NodeSpec struct {
+	ID       int
+	CPUModel string
+	GHz      float64
+	Cores    int // cores available for executors
+	MemoryMB int
+	Disk     DiskClass
+	Role     Role
+	// SpeedFactor scales per-record compute throughput relative to the
+	// reference node (1.0 = I5-9400 2.9GHz).
+	SpeedFactor float64
+	// DiskFactor scales I/O-bound throughput (1.0 = SSD).
+	DiskFactor float64
+}
+
+// Executor is one allocated executor process: 1 core, 1 GB, pinned to a node
+// for the lifetime of the allocation (the paper notes executor specs cannot
+// change at runtime; only their count can).
+type Executor struct {
+	ID   int
+	Node *NodeSpec
+}
+
+// Cluster is a set of nodes with executor-slot accounting and failure
+// state: a failed node's cores are unavailable until it is restored.
+type Cluster struct {
+	nodes  []*NodeSpec
+	used   map[int]int  // node ID -> cores in use
+	failed map[int]bool // node ID -> currently failed
+	nextID int
+}
+
+// ErrInsufficientCapacity is returned when an allocation cannot be placed.
+var ErrInsufficientCapacity = errors.New("cluster: insufficient executor capacity")
+
+// New returns a cluster over the given nodes. Node IDs must be unique.
+func New(nodes []NodeSpec) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	c := &Cluster{used: make(map[int]int), failed: make(map[int]bool)}
+	seen := make(map[int]bool)
+	for i := range nodes {
+		n := nodes[i]
+		if seen[n.ID] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		if n.SpeedFactor <= 0 {
+			return nil, fmt.Errorf("cluster: node %d has non-positive speed factor", n.ID)
+		}
+		if n.DiskFactor <= 0 {
+			return nil, fmt.Errorf("cluster: node %d has non-positive disk factor", n.ID)
+		}
+		if n.Cores < 0 {
+			return nil, fmt.Errorf("cluster: node %d has negative cores", n.ID)
+		}
+		c.nodes = append(c.nodes, &n)
+	}
+	return c, nil
+}
+
+// Table2 reproduces the paper's testbed (Table 2): five nodes, master
+// I5-9400, workers I5-9400 / Xeon Bronze 3204 / 2× I5-10400, SSDs on the
+// first two nodes and HDDs elsewhere. Worker core counts give the 20-executor
+// headroom §6.2.1 assumes. Speed factors follow base clock ratios; disk
+// factors penalise HDD nodes on I/O-heavy work.
+func Table2() *Cluster {
+	c, err := New([]NodeSpec{
+		{ID: 1, CPUModel: "I5-9400 2.9GHz", GHz: 2.9, Cores: 0, MemoryMB: 16384, Disk: SSD, Role: Master, SpeedFactor: 1.0, DiskFactor: 1.0},
+		{ID: 2, CPUModel: "I5-9400 2.9GHz", GHz: 2.9, Cores: 6, MemoryMB: 16384, Disk: SSD, Role: Worker, SpeedFactor: 1.0, DiskFactor: 1.0},
+		{ID: 3, CPUModel: "Xeon Bronze 3204 1.9GHz", GHz: 1.9, Cores: 6, MemoryMB: 16384, Disk: HDD, Role: Worker, SpeedFactor: 0.66, DiskFactor: 0.85},
+		{ID: 4, CPUModel: "I5-10400 2.9GHz", GHz: 2.9, Cores: 6, MemoryMB: 16384, Disk: HDD, Role: Worker, SpeedFactor: 1.05, DiskFactor: 0.85},
+		{ID: 5, CPUModel: "I5-10400 2.9GHz", GHz: 2.9, Cores: 6, MemoryMB: 16384, Disk: HDD, Role: Worker, SpeedFactor: 1.05, DiskFactor: 0.85},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return c
+}
+
+// Homogeneous returns a cluster of n identical workers plus a master, for
+// ablations isolating heterogeneity effects.
+func Homogeneous(workers, coresEach int) *Cluster {
+	specs := []NodeSpec{{ID: 1, CPUModel: "ref", GHz: 2.9, Role: Master, SpeedFactor: 1, DiskFactor: 1}}
+	for i := 0; i < workers; i++ {
+		specs = append(specs, NodeSpec{
+			ID: i + 2, CPUModel: "ref", GHz: 2.9, Cores: coresEach, MemoryMB: coresEach * 1024,
+			Disk: SSD, Role: Worker, SpeedFactor: 1, DiskFactor: 1,
+		})
+	}
+	c, err := New(specs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Nodes returns the node specs in ID order.
+func (c *Cluster) Nodes() []*NodeSpec {
+	out := append([]*NodeSpec(nil), c.nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Workers returns only live (non-failed) worker nodes, in ID order.
+func (c *Cluster) Workers() []*NodeSpec {
+	var out []*NodeSpec
+	for _, n := range c.Nodes() {
+		if n.Role == Worker && !c.failed[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SetFailed marks a node failed or restored. Executors already allocated on
+// a failed node keep their accounting until released; callers (the engine)
+// are expected to release and reallocate. Unknown node IDs are an error.
+func (c *Cluster) SetFailed(nodeID int, failed bool) error {
+	for _, n := range c.nodes {
+		if n.ID == nodeID {
+			c.failed[nodeID] = failed
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown node %d", nodeID)
+}
+
+// Failed reports whether a node is currently marked failed.
+func (c *Cluster) Failed(nodeID int) bool { return c.failed[nodeID] }
+
+// TotalWorkerCores returns the total executor capacity.
+func (c *Cluster) TotalWorkerCores() int {
+	total := 0
+	for _, n := range c.Workers() {
+		total += n.Cores
+	}
+	return total
+}
+
+// FreeCores returns unallocated cores on live workers.
+func (c *Cluster) FreeCores() int {
+	free := 0
+	for _, w := range c.Workers() {
+		free += w.Cores - c.used[w.ID]
+	}
+	return free
+}
+
+// UsedCores returns the number of cores currently allocated.
+func (c *Cluster) UsedCores() int {
+	total := 0
+	for _, v := range c.used {
+		total += v
+	}
+	return total
+}
+
+// Allocate places n executors across workers, spreading to the node with
+// the most free cores first (ties: lowest node ID) — mirroring Spark
+// standalone's spread-out default. Returns ErrInsufficientCapacity if fewer
+// than n cores are free, in which case nothing is allocated.
+func (c *Cluster) Allocate(n int) ([]Executor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: allocation size %d must be positive", n)
+	}
+	workers := c.Workers()
+	free := 0
+	for _, w := range workers {
+		free += w.Cores - c.used[w.ID]
+	}
+	if free < n {
+		return nil, ErrInsufficientCapacity
+	}
+	execs := make([]Executor, 0, n)
+	for len(execs) < n {
+		// Pick worker with most free cores.
+		var best *NodeSpec
+		bestFree := -1
+		for _, w := range workers {
+			free := w.Cores - c.used[w.ID]
+			if free > bestFree {
+				best, bestFree = w, free
+			}
+		}
+		if bestFree <= 0 {
+			// Unreachable given the capacity precheck, but fail loudly.
+			return nil, ErrInsufficientCapacity
+		}
+		c.used[best.ID]++
+		execs = append(execs, Executor{ID: c.nextID, Node: best})
+		c.nextID++
+	}
+	return execs, nil
+}
+
+// Release returns the executors' cores to the pool.
+func (c *Cluster) Release(execs []Executor) {
+	for _, e := range execs {
+		if c.used[e.Node.ID] > 0 {
+			c.used[e.Node.ID]--
+		}
+	}
+}
+
+// Parallelism returns the effective compute parallelism of an executor set:
+// the sum of host speed factors, with disk factors blended in by ioWeight
+// (0 = pure CPU work, 1 = fully I/O-bound). A homogeneous set of k reference
+// executors has parallelism k.
+func Parallelism(execs []Executor, ioWeight float64) float64 {
+	if ioWeight < 0 {
+		ioWeight = 0
+	}
+	if ioWeight > 1 {
+		ioWeight = 1
+	}
+	p := 0.0
+	for _, e := range execs {
+		f := e.Node.SpeedFactor * ((1 - ioWeight) + ioWeight*e.Node.DiskFactor)
+		p += f
+	}
+	return p
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// Tests for the §7 future-work extensions: three-parameter tuning,
+// automatic gain selection, and adaptation to node failures.
+
+// blockBounds is DefaultBounds plus a tunable block-interval range.
+func blockBounds() engine.Bounds {
+	b := engine.DefaultBounds()
+	b.MinBlock, b.MaxBlock = 50*time.Millisecond, 2*time.Second
+	return b
+}
+
+func TestTuneBlockIntervalRequiresBounds(t *testing.T) {
+	clock := sim.NewClock()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, Options{TuneBlockInterval: true}); err == nil {
+		t.Fatal("3-parameter tuning accepted without block bounds")
+	}
+}
+
+func TestThreeParameterTuning(t *testing.T) {
+	clock := sim.NewClock()
+	seed := rng.New(5)
+	wl := workload.NewLogisticRegression()
+	lo, hi := wl.RateBand()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    ratetrace.NewUniformBand(lo, hi, 5*time.Second, seed.Split("trace")),
+		Seed:     seed.Split("engine"),
+		Bounds:   blockBounds(),
+		Initial:  engine.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(eng, Options{Seed: seed.Split("ctl"), TuneBlockInterval: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	if err := ctl.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(sim.Time(sec(7200)))
+
+	if len(ctl.Iterations()) < 5 {
+		t.Fatalf("only %d iterations", len(ctl.Iterations()))
+	}
+	// Probes and estimates must carry an in-bounds block interval.
+	for _, it := range ctl.Iterations() {
+		for _, cfg := range []engine.Config{it.ThetaPlus, it.ThetaMinus, it.Estimate} {
+			if cfg.BlockInterval < 50*time.Millisecond || cfg.BlockInterval > 2*time.Second {
+				t.Fatalf("block interval %v out of bounds in %v", cfg.BlockInterval, cfg)
+			}
+		}
+	}
+	// The tuned system must still beat the default configuration.
+	h := eng.History()
+	var tail []float64
+	for _, b := range h[len(h)*7/10:] {
+		tail = append(tail, b.EndToEndDelay.Seconds())
+	}
+	if m := stats.Mean(tail); m > 30 {
+		t.Fatalf("3-parameter tuning tail e2e %.1fs", m)
+	}
+	// The block dimension was genuinely explored.
+	distinct := map[time.Duration]bool{}
+	for _, it := range ctl.Iterations() {
+		distinct[it.ThetaPlus.BlockInterval] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("block interval never explored: %v", distinct)
+	}
+}
+
+func TestTwoParameterLeavesBlockAlone(t *testing.T) {
+	clock, eng, ctl := scenario(t, nil, nil)
+	clock.RunUntil(sim.Time(sec(1800)))
+	for _, it := range ctl.Iterations() {
+		if it.ThetaPlus.BlockInterval != 0 || it.Estimate.BlockInterval != 0 {
+			t.Fatalf("2-parameter controller touched the block interval: %+v", it)
+		}
+	}
+	if eng.Config().BlockInterval != 0 {
+		t.Fatalf("engine block interval changed: %v", eng.Config().BlockInterval)
+	}
+}
+
+func TestAutoGainsCalibratesThenOptimizes(t *testing.T) {
+	clock, _, ctl := scenario(t, nil, func(o *Options) {
+		o.AutoGains = true
+		o.CalibrationBatches = 5
+	})
+	// During calibration no iterations run.
+	clock.RunUntil(sim.Time(sec(60)))
+	if len(ctl.Iterations()) != 0 {
+		t.Fatal("iterations before calibration finished")
+	}
+	clock.RunUntil(sim.Time(sec(7200)))
+	if len(ctl.Iterations()) < 5 {
+		t.Fatalf("AutoGains produced only %d iterations", len(ctl.Iterations()))
+	}
+	// And it must still converge to a good configuration.
+	if ctl.Pauses() == 0 {
+		t.Fatal("AutoGains run never paused")
+	}
+}
+
+func TestAutoGainsComparableToPaperConstants(t *testing.T) {
+	run := func(auto bool) float64 {
+		clock, eng, _ := scenario(t, nil, func(o *Options) {
+			o.AutoGains = auto
+		})
+		clock.RunUntil(sim.Time(sec(7200)))
+		h := eng.History()
+		var tail []float64
+		for _, b := range h[len(h)*7/10:] {
+			tail = append(tail, b.EndToEndDelay.Seconds())
+		}
+		return stats.Mean(tail)
+	}
+	manual := run(false)
+	auto := run(true)
+	if auto > 3*manual && auto > 25 {
+		t.Fatalf("AutoGains tail %.1fs far worse than manual %.1fs", auto, manual)
+	}
+}
+
+func TestControllerSurvivesNodeFailure(t *testing.T) {
+	clock, eng, ctl := scenario(t, nil, nil)
+	clock.At(sim.Time(sec(2000)), func() {
+		if err := eng.FailNode(4); err != nil {
+			t.Errorf("FailNode: %v", err)
+		}
+	})
+	clock.RunUntil(sim.Time(sec(7200)))
+	// The stream must survive: queue bounded, batches completing.
+	if q := eng.QueueLen(); q > 15 {
+		t.Fatalf("queue %d after node failure under tuning", q)
+	}
+	h := eng.History()
+	if h[len(h)-1].DoneAt < sim.Time(sec(7000)) {
+		t.Fatal("batches stopped completing after the failure")
+	}
+	var tail []float64
+	for _, b := range h[len(h)*8/10:] {
+		tail = append(tail, b.EndToEndDelay.Seconds())
+	}
+	// Post-failure steady state should still beat the untuned default
+	// even with 25% less cluster.
+	if m := stats.Mean(tail); m > 30 {
+		t.Fatalf("post-failure tail e2e %.1fs", m)
+	}
+	_ = ctl
+}

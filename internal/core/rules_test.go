@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// Tests for the controller's §5.3.5/§5.4/§5.5 rule implementations and the
+// reproduction-specific safeguards documented in DESIGN.md §4b.
+
+func TestImpededProgressIterationBudget(t *testing.T) {
+	// With an unreachable std threshold, only the iteration budget can
+	// pause — and it must.
+	clock, _, ctl := scenario(t, nil, func(o *Options) {
+		o.PauseStd = 1e-9 // never satisfied
+		o.MaxIterations = 6
+		o.MaxSearchTime = -1
+	})
+	clock.RunUntil(sim.Time(sec(7200)))
+	if ctl.Pauses() == 0 {
+		t.Fatal("iteration budget never paused the search")
+	}
+}
+
+func TestImpededProgressTimeBudget(t *testing.T) {
+	clock, _, ctl := scenario(t, nil, func(o *Options) {
+		o.PauseStd = 1e-9
+		o.MaxIterations = -1
+		o.MaxSearchTime = 15 * time.Minute
+	})
+	clock.RunUntil(sim.Time(sec(7200)))
+	if ctl.Pauses() == 0 {
+		t.Fatal("time budget never paused the search")
+	}
+}
+
+func TestBudgetsDisabled(t *testing.T) {
+	// With every pause rule effectively disabled the controller keeps
+	// iterating for the whole horizon.
+	clock, _, ctl := scenario(t, nil, func(o *Options) {
+		o.PauseStd = 1e-9
+		o.MaxIterations = -1
+		o.MaxSearchTime = -1
+	})
+	clock.RunUntil(sim.Time(sec(7200)))
+	if ctl.Pauses() != 0 {
+		t.Fatalf("pauses=%d with all pause rules disabled", ctl.Pauses())
+	}
+	if len(ctl.Iterations()) < 10 {
+		t.Fatalf("only %d iterations over 2h", len(ctl.Iterations()))
+	}
+}
+
+func TestObjectiveFormsDiffer(t *testing.T) {
+	// Construct two controllers and compare their objective() directly.
+	mk := func(form ObjectiveForm) *Controller {
+		clock := sim.NewClock()
+		eng, err := engine.New(clock, engine.Options{
+			Workload: workload.NewWordCount(),
+			Trace:    ratetrace.Constant{Rate: 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := New(eng, Options{Objective: form})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+	cfg := engine.Config{BatchInterval: 10 * time.Second, Executors: 8}
+	e2e := mk(ObjectiveE2E)
+	eq3 := mk(ObjectiveEq3)
+
+	// Stable measurement (total < interval): Eq3 collapses to the
+	// interval; E2E keeps the measured delay visible.
+	if got := eq3.objective(cfg, 6); got != 10 {
+		t.Fatalf("Eq3 stable objective %v, want 10", got)
+	}
+	if got := e2e.objective(cfg, 6); got != 5+6 {
+		t.Fatalf("E2E stable objective %v, want 11", got)
+	}
+	// Unstable measurement: both penalise, E2E more (it also carries the
+	// raw delay).
+	eq3Val := eq3.objective(cfg, 14)
+	e2eVal := e2e.objective(cfg, 14)
+	if eq3Val != 10+1*4 { // fresh controller: ρ=1
+		t.Fatalf("Eq3 unstable objective %v", eq3Val)
+	}
+	if e2eVal <= eq3Val {
+		t.Fatalf("E2E unstable objective %v not above Eq3's %v", e2eVal, eq3Val)
+	}
+}
+
+func TestEq3ExecutorPlateau(t *testing.T) {
+	// The documented flaw motivating the default: on stable measurements
+	// Eq. 3 is independent of the executor count.
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	ctl, _ := New(eng, Options{Objective: ObjectiveEq3})
+	a := ctl.objective(engine.Config{BatchInterval: 10 * time.Second, Executors: 2}, 5)
+	b := ctl.objective(engine.Config{BatchInterval: 10 * time.Second, Executors: 20}, 5)
+	if a != b {
+		t.Fatalf("Eq3 distinguishes executor counts on stable systems: %v vs %v", a, b)
+	}
+}
+
+func TestStrikeFalsified(t *testing.T) {
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	ctl, _ := New(eng, Options{})
+	add := func(y float64, interval time.Duration, execs int) {
+		ctl.noteScore(y, engine.Config{BatchInterval: interval, Executors: execs})
+	}
+	add(5, 5*time.Second, 8)  // dominated (shorter interval, fewer execs)
+	add(6, 6*time.Second, 12) // survives: more executors
+	add(7, 20*time.Second, 4) // survives: longer interval
+	add(8, 7*time.Second, 10) // dominated boundary case (equal resources)
+	ctl.strikeFalsified(engine.Config{BatchInterval: 7 * time.Second, Executors: 10})
+	if len(ctl.best) != 2 {
+		t.Fatalf("best list after strike: %d entries, want 2 (%+v)", len(ctl.best), ctl.best)
+	}
+	for _, s := range ctl.best {
+		if s.cfg.BatchInterval <= 7*time.Second && s.cfg.Executors <= 10 {
+			t.Fatalf("dominated entry survived: %+v", s.cfg)
+		}
+	}
+}
+
+func TestNoteScoreKeepsNBestSorted(t *testing.T) {
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	ctl, _ := New(eng, Options{PauseWindow: 3})
+	for _, y := range []float64{9, 4, 7, 2, 8, 5} {
+		ctl.noteScore(y, engine.Config{BatchInterval: time.Duration(y) * time.Second, Executors: 5})
+	}
+	if len(ctl.best) != 3 {
+		t.Fatalf("best list size %d, want 3", len(ctl.best))
+	}
+	want := []float64{2, 4, 5}
+	for i, s := range ctl.best {
+		if s.y != want[i] {
+			t.Fatalf("best list %v, want ys %v", ctl.best, want)
+		}
+	}
+}
+
+func TestPausedConfigCarriesMargin(t *testing.T) {
+	// Pause via a generous std threshold; the held interval must exceed
+	// the best-scored probe's interval by at least the base margin.
+	clock, eng, ctl := scenario(t, nil, func(o *Options) {
+		o.PauseWindow = 3
+		o.PauseStd = 50
+	})
+	clock.RunUntil(sim.Time(sec(7200)))
+	if ctl.Phase() != PhasePaused {
+		t.Skip("controller not paused at horizon (rare seed path)")
+	}
+	// The engine's live interval is the held (margined) one; the best
+	// probe interval is in the iterations record. Check the hold exceeds
+	// the smallest winning probe.
+	minProbe := time.Duration(1 << 62)
+	for _, it := range ctl.Iterations() {
+		if it.ThetaPlus.BatchInterval < minProbe {
+			minProbe = it.ThetaPlus.BatchInterval
+		}
+		if it.ThetaMinus.BatchInterval < minProbe {
+			minProbe = it.ThetaMinus.BatchInterval
+		}
+	}
+	if eng.Config().BatchInterval < minProbe {
+		t.Fatalf("held interval %v below the smallest probe %v", eng.Config().BatchInterval, minProbe)
+	}
+}
+
+func TestMonitorResumeOnCollapse(t *testing.T) {
+	// Force a pause, then double the arrival rate (below the §5.5 reset
+	// threshold ratio over a long ramp is hard to arrange; instead jump
+	// it and disable the reset rule so only monitor-resume can react).
+	clock, _, ctl := scenario(t, func(o *engine.Options) {
+		o.Trace = ratetrace.Surge{
+			Base: 150000, Peak: 550000,
+			Start: sim.Time(sec(4000)), Duration: 3200 * time.Second,
+		}
+	}, func(o *Options) {
+		o.RateStdThreshold = -1 // isolate monitor-resume
+	})
+	clock.RunUntil(sim.Time(sec(3900)))
+	pausesBefore := ctl.Pauses()
+	itersBefore := len(ctl.Iterations())
+	clock.RunUntil(sim.Time(sec(7200)))
+	if pausesBefore == 0 {
+		t.Skip("no pause before the surge on this seed")
+	}
+	if len(ctl.Iterations()) == itersBefore && ctl.Phase() == PhasePaused {
+		t.Fatal("rate jump never resumed the paused controller")
+	}
+}
+
+func TestTailDelayBeatsDefaultAcrossWorkloads(t *testing.T) {
+	// End-to-end regression guard over the Fig 7 claim at test scale.
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// Average two seeds: any single run can land on an unlucky
+			// trajectory that converges late; the claim is statistical.
+			var tails []float64
+			for _, seedN := range []uint64{101, 202} {
+				seed := rng.New(seedN)
+				clock := sim.NewClock()
+				wl, err := workload.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lo, hi := wl.RateBand()
+				eng, err := engine.New(clock, engine.Options{
+					Workload: wl,
+					Trace:    ratetrace.NewUniformBand(lo, hi, 5*time.Second, seed.Split("trace")),
+					Seed:     seed.Split("engine"),
+					Initial:  engine.DefaultConfig(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctl, err := New(eng, Options{Seed: seed.Split("ctl")})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.Start()
+				ctl.Attach()
+				clock.RunUntil(sim.Time(sec(7200)))
+				h := eng.History()
+				var tail []float64
+				for _, b := range h[len(h)*7/10:] {
+					tail = append(tail, b.EndToEndDelay.Seconds())
+				}
+				tails = append(tails, stats.Mean(tail))
+			}
+			// The default configuration yields ≈33-38s on every workload;
+			// demand a clear mean improvement.
+			if m := stats.Mean(tails); m > 25 {
+				t.Fatalf("%s: tuned tail e2e %.1fs (per-seed %v), want well below the ~35s default", name, m, tails)
+			}
+		})
+	}
+}

@@ -1,0 +1,633 @@
+// Package engine implements a Spark-Streaming-like micro-batch streaming
+// engine over the discrete-event kernel: a receiver that drains a Kafka-like
+// topic, a batch divider driven by a runtime-tunable batch interval, a FIFO
+// batch queue, a single-job scheduler (Spark's default
+// spark.streaming.concurrentJobs=1), and an executor pool drawn from a
+// heterogeneous cluster.
+//
+// The engine reproduces the dynamics the paper's optimization problem is
+// built on (§3):
+//
+//   - If batch processing time exceeds the batch interval, batches pile up
+//     in the queue and scheduling delay grows without bound (unstable).
+//   - If the interval exceeds processing time, the engine idles and
+//     end-to-end delay is unnecessarily long.
+//   - Batch interval and executor count are reconfigurable at runtime
+//     without restarting anything — the system modification NoStop assumes
+//     (§3.2) — with interval changes taking effect at the next batch
+//     boundary and executor changes incurring a one-off setup cost on the
+//     next batch (jar shipping to new executors, §5.4).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nostop/internal/broker"
+	"nostop/internal/cluster"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// Config is the runtime-tunable configuration pair the paper optimizes.
+type Config struct {
+	BatchInterval time.Duration
+	Executors     int
+	// BlockInterval is the receiver block interval: each block becomes
+	// one task, so tasks-per-batch = BatchInterval / BlockInterval. The
+	// paper fixes it (Spark's 200ms default) and names multi-parameter
+	// tuning as future work (§7); this reproduction makes it tunable.
+	// Zero means "engine default" (200ms) and is how two-parameter
+	// controllers leave it alone.
+	BlockInterval time.Duration
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	if c.BlockInterval > 0 {
+		return fmt.Sprintf("{interval %v, executors %d, block %v}", c.BatchInterval, c.Executors, c.BlockInterval)
+	}
+	return fmt.Sprintf("{interval %v, executors %d}", c.BatchInterval, c.Executors)
+}
+
+// Bounds is the feasible configuration region (§5.1).
+type Bounds struct {
+	MinInterval, MaxInterval   time.Duration
+	MinExecutors, MaxExecutors int
+	// MinBlock/MaxBlock bound the tunable block interval; both zero
+	// means the block interval is not tunable (Config.BlockInterval must
+	// stay 0 and the engine default applies).
+	MinBlock, MaxBlock time.Duration
+}
+
+// DefaultBounds mirrors §6.2.1: 1..40 s batch interval, 1..20 executors.
+func DefaultBounds() Bounds {
+	return Bounds{
+		MinInterval: 1 * time.Second, MaxInterval: 40 * time.Second,
+		MinExecutors: 1, MaxExecutors: 20,
+	}
+}
+
+// Clamp returns cfg restricted to the bounds.
+func (b Bounds) Clamp(cfg Config) Config {
+	if cfg.BatchInterval < b.MinInterval {
+		cfg.BatchInterval = b.MinInterval
+	}
+	if cfg.BatchInterval > b.MaxInterval {
+		cfg.BatchInterval = b.MaxInterval
+	}
+	if cfg.Executors < b.MinExecutors {
+		cfg.Executors = b.MinExecutors
+	}
+	if cfg.Executors > b.MaxExecutors {
+		cfg.Executors = b.MaxExecutors
+	}
+	switch {
+	case b.MinBlock == 0 && b.MaxBlock == 0:
+		cfg.BlockInterval = 0 // not tunable: pin to the engine default
+	case cfg.BlockInterval == 0:
+		// Zero always means "engine default", even when the block
+		// interval is tunable: two-parameter controllers keep working on
+		// a three-parameter-capable engine.
+	default:
+		if cfg.BlockInterval < b.MinBlock {
+			cfg.BlockInterval = b.MinBlock
+		}
+		if cfg.BlockInterval > b.MaxBlock {
+			cfg.BlockInterval = b.MaxBlock
+		}
+	}
+	return cfg
+}
+
+// Contains reports whether cfg lies within the bounds.
+func (b Bounds) Contains(cfg Config) bool { return b.Clamp(cfg) == cfg }
+
+// BatchStats describes one completed batch — the per-batch status report a
+// StreamingListener would deliver (§4.3).
+type BatchStats struct {
+	ID        int64
+	Records   int64
+	Config    Config // configuration in effect when the batch was cut
+	CutAt     sim.Time
+	StartedAt sim.Time
+	DoneAt    sim.Time
+	// SchedulingDelay is the time the batch waited in the queue (Fig 2b's
+	// "batch schedule delay").
+	SchedulingDelay time.Duration
+	// ProcessingTime is the simulated Spark job duration.
+	ProcessingTime time.Duration
+	// EndToEndDelay approximates the mean record's end-to-end latency:
+	// half a batch interval of residence while the batch forms, plus
+	// scheduling delay, plus processing time.
+	EndToEndDelay time.Duration
+	// FirstAfterReconfig marks the first batch cut after a configuration
+	// change; §5.4 excludes it from measurements because reconfiguration
+	// inflates it (jar shipping, executor registration).
+	FirstAfterReconfig bool
+	// QueueLen is the batch-queue length right after this batch finished.
+	QueueLen int
+	// Semantic is the workload's output when payload records were attached.
+	Semantic workload.Result
+}
+
+// Listener observes completed batches. The NoStop controller, the metrics
+// listener, and tests all attach through this interface.
+type Listener interface {
+	OnBatchComplete(BatchStats)
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(BatchStats)
+
+// OnBatchComplete implements Listener.
+func (f ListenerFunc) OnBatchComplete(bs BatchStats) { f(bs) }
+
+// Options configure a new engine.
+type Options struct {
+	Workload workload.Workload
+	Trace    ratetrace.Trace
+	Cluster  *cluster.Cluster // nil: the paper's Table 2 cluster
+	Seed     *rng.Stream      // nil: rng.New(1)
+	Initial  Config           // zero: Default (interval 30s, 8 executors)
+	Bounds   Bounds           // zero: DefaultBounds
+
+	// Partitions is the topic partition count; 0 picks
+	// 2·TotalWorkerCores, honouring §6.1's "more partitions than cores".
+	Partitions int
+	// ProducerTick is the granularity at which trace arrivals are pushed
+	// into the broker. 0 means 100ms.
+	ProducerTick time.Duration
+	// BlockInterval is the default receiver block interval used when the
+	// configuration leaves Config.BlockInterval at 0. 0 means Spark's
+	// 200ms default.
+	BlockInterval time.Duration
+	// TaskDispatchCost is the driver-side cost of dispatching one task;
+	// it makes over-fine block intervals expensive. 0 means 1.5ms.
+	TaskDispatchCost time.Duration
+	// PayloadsPerTick is how many concrete payload records (with real
+	// generated data) accompany the counted arrivals each tick; they feed
+	// the workload's semantic ProcessBatch. 0 disables payloads.
+	PayloadsPerTick int
+	// SampleCap is the per-partition payload retention; 0 with payloads
+	// enabled defaults to 256.
+	SampleCap int
+	// ReconfigSetup is the one-off cost added to the first batch after an
+	// executor-count change. 0 means 1s.
+	ReconfigSetup time.Duration
+	// RateWindow is the span of the recent-arrival-rate window exposed to
+	// controllers (§5.5). 0 means 60s.
+	RateWindow time.Duration
+	// IngestCap, if positive, limits the accepted input rate
+	// (records/second); the back-pressure baseline drives this knob.
+	IngestCap float64
+}
+
+// DefaultConfig is the untuned starting configuration used as the Fig 7
+// baseline: a conservative long interval with a modest executor count.
+func DefaultConfig() Config {
+	return Config{BatchInterval: 30 * time.Second, Executors: 8}
+}
+
+// Engine is the simulated streaming system.
+type Engine struct {
+	clock *sim.Clock
+	opts  Options
+
+	wl      workload.Workload
+	cl      *cluster.Cluster
+	bus     *broker.Bus
+	topic   *broker.Topic
+	prod    *broker.Producer
+	group   *broker.ConsumerGroup
+	noise   *rng.Stream
+	payload *rng.Stream
+
+	cfg        Config
+	pending    *Config // config to apply at the next batch boundary
+	execs      []cluster.Executor
+	setupOwed  bool // next scheduled batch pays ReconfigSetup
+	markFirst  bool // next cut batch is flagged FirstAfterReconfig
+	reconfigs  int
+	started    bool
+	stopped    bool
+	fracCarry  float64 // fractional records carried between producer ticks
+	lastTickAt sim.Time
+
+	queue    []*batch
+	busy     bool
+	nextID   int64
+	cutEvent *sim.Event
+
+	history    []BatchStats
+	historyCap int
+	listeners  []Listener
+
+	rates     *stats.Window // recent per-tick arrival rates (rec/s)
+	ingestCap float64
+
+	totalRecords int64
+	droppedByCap int64
+}
+
+type batch struct {
+	id       int64
+	records  int64
+	payloads []broker.Record
+	cutAt    sim.Time
+	cfg      Config
+	first    bool
+}
+
+// Common errors.
+var (
+	ErrNotRunning   = errors.New("engine: not started")
+	ErrOutOfBounds  = errors.New("engine: configuration outside bounds")
+	ErrAlreadyStart = errors.New("engine: already started")
+)
+
+// New constructs an engine on the given clock. It allocates the initial
+// executors immediately and validates the initial configuration.
+func New(clock *sim.Clock, opts Options) (*Engine, error) {
+	if clock == nil {
+		return nil, errors.New("engine: nil clock")
+	}
+	if opts.Workload == nil {
+		return nil, errors.New("engine: nil workload")
+	}
+	if opts.Trace == nil {
+		return nil, errors.New("engine: nil trace")
+	}
+	if opts.Cluster == nil {
+		opts.Cluster = cluster.Table2()
+	}
+	if opts.Seed == nil {
+		opts.Seed = rng.New(1)
+	}
+	if opts.Initial == (Config{}) {
+		opts.Initial = DefaultConfig()
+	}
+	if opts.Bounds == (Bounds{}) {
+		opts.Bounds = DefaultBounds()
+	}
+	if opts.Partitions == 0 {
+		opts.Partitions = 2 * opts.Cluster.TotalWorkerCores()
+	}
+	if opts.ProducerTick == 0 {
+		opts.ProducerTick = 100 * time.Millisecond
+	}
+	if opts.BlockInterval == 0 {
+		opts.BlockInterval = 200 * time.Millisecond
+	}
+	if opts.TaskDispatchCost == 0 {
+		opts.TaskDispatchCost = 1500 * time.Microsecond
+	}
+	if opts.SampleCap == 0 && opts.PayloadsPerTick > 0 {
+		opts.SampleCap = 256
+	}
+	if opts.ReconfigSetup == 0 {
+		opts.ReconfigSetup = time.Second
+	}
+	if opts.RateWindow == 0 {
+		opts.RateWindow = 60 * time.Second
+	}
+	if !opts.Bounds.Contains(opts.Initial) {
+		return nil, fmt.Errorf("%w: initial %v", ErrOutOfBounds, opts.Initial)
+	}
+	if opts.Bounds.MaxExecutors > opts.Cluster.TotalWorkerCores() {
+		return nil, fmt.Errorf("engine: bounds allow %d executors but cluster has %d cores",
+			opts.Bounds.MaxExecutors, opts.Cluster.TotalWorkerCores())
+	}
+
+	var nodeIDs []int
+	for _, n := range opts.Cluster.Nodes() {
+		nodeIDs = append(nodeIDs, n.ID)
+	}
+	bus, err := broker.NewBus(nodeIDs)
+	if err != nil {
+		return nil, err
+	}
+	topic, err := bus.CreateTopic("input", opts.Partitions, opts.SampleCap)
+	if err != nil {
+		return nil, err
+	}
+	prod, err := bus.NewProducer("input")
+	if err != nil {
+		return nil, err
+	}
+	group, err := bus.NewConsumerGroup("input")
+	if err != nil {
+		return nil, err
+	}
+	execs, err := opts.Cluster.Allocate(opts.Initial.Executors)
+	if err != nil {
+		return nil, fmt.Errorf("engine: initial allocation: %w", err)
+	}
+	windowTicks := int(opts.RateWindow / opts.ProducerTick)
+	if windowTicks < 2 {
+		windowTicks = 2
+	}
+	e := &Engine{
+		clock:      clock,
+		opts:       opts,
+		wl:         opts.Workload,
+		cl:         opts.Cluster,
+		bus:        bus,
+		topic:      topic,
+		prod:       prod,
+		group:      group,
+		noise:      opts.Seed.Split("engine-noise"),
+		payload:    opts.Seed.Split("engine-payload"),
+		cfg:        opts.Initial,
+		execs:      execs,
+		historyCap: 1 << 20,
+		rates:      stats.NewWindow(windowTicks),
+		ingestCap:  opts.IngestCap,
+	}
+	return e, nil
+}
+
+// Start schedules the producer and the first batch cut. It may be called
+// once; the engine then runs as the clock advances.
+func (e *Engine) Start() error {
+	if e.started {
+		return ErrAlreadyStart
+	}
+	e.started = true
+	e.lastTickAt = e.clock.Now()
+	e.clock.After(e.opts.ProducerTick, e.producerTick)
+	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutBatch)
+	return nil
+}
+
+// Stop halts future producer ticks and batch cuts. In-flight processing
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// AddListener attaches a batch-completion listener.
+func (e *Engine) AddListener(l Listener) { e.listeners = append(e.listeners, l) }
+
+// producerTick pushes trace arrivals since the previous tick into the topic.
+func (e *Engine) producerTick() {
+	if e.stopped {
+		return
+	}
+	now := e.clock.Now()
+	n := ratetrace.RecordsIn(e.opts.Trace, e.lastTickAt, now) + e.fracCarry
+	elapsed := (now - e.lastTickAt).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = (n - e.fracCarry) / elapsed
+	}
+	if e.ingestCap > 0 && elapsed > 0 {
+		allowed := e.ingestCap * elapsed
+		if n-e.fracCarry > allowed {
+			e.droppedByCap += int64(n - e.fracCarry - allowed)
+			n = allowed + e.fracCarry
+		}
+	}
+	whole := int64(n)
+	e.fracCarry = n - float64(whole)
+	e.lastTickAt = now
+	e.rates.Add(rate)
+
+	payloads := int64(e.opts.PayloadsPerTick)
+	if payloads > whole {
+		payloads = whole
+	}
+	if counted := whole - payloads; counted > 0 {
+		e.prod.SendCount(counted)
+	}
+	for i := int64(0); i < payloads; i++ {
+		e.prod.Send("", e.wl.GenValue(e.totalRecords+i, e.payload), now)
+	}
+	e.totalRecords += whole
+	e.clock.After(e.opts.ProducerTick, e.producerTick)
+}
+
+// cutBatch drains the topic into a new batch, applies any pending config,
+// and schedules the next cut.
+func (e *Engine) cutBatch() {
+	if e.stopped {
+		return
+	}
+	n, payloads := e.group.Poll(0)
+	b := &batch{
+		id:       e.nextID,
+		records:  n,
+		payloads: payloads,
+		cutAt:    e.clock.Now(),
+		cfg:      e.cfg,
+		first:    e.markFirst,
+	}
+	e.markFirst = false
+	e.nextID++
+	e.queue = append(e.queue, b)
+	e.trySchedule()
+
+	// Apply a pending configuration at the boundary, then schedule the
+	// next cut with the (possibly new) interval.
+	if e.pending != nil {
+		e.applyConfig(*e.pending)
+		e.pending = nil
+	}
+	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutBatch)
+}
+
+// applyConfig switches the live configuration; executor-count changes
+// reallocate and charge setup to the next scheduled batch.
+func (e *Engine) applyConfig(cfg Config) {
+	changedExecs := cfg.Executors != e.cfg.Executors || len(e.execs) != cfg.Executors
+	e.cfg = cfg
+	if changedExecs {
+		// reallocate caps the allocation at live-cluster capacity, so a
+		// reconfiguration during a node failure degrades gracefully
+		// instead of failing.
+		e.reallocate()
+	}
+	e.reconfigs++
+	e.markFirst = true
+}
+
+// trySchedule starts the head-of-queue batch if the engine is idle. With no
+// live executors (total outage) batches wait in the queue.
+func (e *Engine) trySchedule() {
+	if e.busy || len(e.queue) == 0 || len(e.execs) == 0 {
+		return
+	}
+	b := e.queue[0]
+	e.queue = e.queue[1:]
+	e.busy = true
+	start := e.clock.Now()
+
+	execCount := len(e.execs)
+	par := cluster.Parallelism(e.execs, e.wl.Model().IOWeight)
+	if maxPar := float64(e.opts.Partitions); par > maxPar {
+		par = maxPar // task parallelism cannot exceed partition count
+	}
+	// Each receiver block becomes one task (Spark semantics): a coarse
+	// block interval caps parallelism below the executor count, a fine
+	// one multiplies driver dispatch overhead.
+	block := b.cfg.BlockInterval
+	if block <= 0 {
+		block = e.opts.BlockInterval
+	}
+	tasks := int(b.cfg.BatchInterval / block)
+	if tasks < 1 {
+		tasks = 1
+	}
+	if float64(tasks) < par {
+		par = float64(tasks)
+	}
+	proc := e.wl.Model().ProcessingTime(b.records, execCount, par, e.noise)
+	proc += time.Duration(tasks) * e.opts.TaskDispatchCost
+	if e.setupOwed {
+		proc += e.opts.ReconfigSetup
+		e.setupOwed = false
+	}
+	e.clock.After(proc, func() { e.completeBatch(b, start, proc) })
+}
+
+// completeBatch finalises stats, runs semantic processing, and notifies
+// listeners.
+func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
+	e.busy = false
+	e.wl.Model().NoteBatch()
+	var result workload.Result
+	if len(b.payloads) > 0 {
+		result = e.wl.ProcessBatch(b.payloads)
+	}
+	sched := time.Duration(start - b.cutAt)
+	bs := BatchStats{
+		ID:                 b.id,
+		Records:            b.records,
+		Config:             b.cfg,
+		CutAt:              b.cutAt,
+		StartedAt:          start,
+		DoneAt:             e.clock.Now(),
+		SchedulingDelay:    sched,
+		ProcessingTime:     proc,
+		EndToEndDelay:      b.cfg.BatchInterval/2 + sched + proc,
+		FirstAfterReconfig: b.first,
+		QueueLen:           len(e.queue),
+		Semantic:           result,
+	}
+	if len(e.history) < e.historyCap {
+		e.history = append(e.history, bs)
+	}
+	for _, l := range e.listeners {
+		l.OnBatchComplete(bs)
+	}
+	e.trySchedule()
+}
+
+// Reconfigure requests a configuration change; it takes effect at the next
+// batch boundary (§5.3's changeConfigurations). Returns ErrOutOfBounds for
+// configurations outside the feasible region.
+func (e *Engine) Reconfigure(cfg Config) error {
+	if !e.started {
+		return ErrNotRunning
+	}
+	if !e.opts.Bounds.Contains(cfg) {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, cfg)
+	}
+	if cfg == e.cfg && e.pending == nil {
+		return nil // no-op
+	}
+	e.pending = &cfg
+	return nil
+}
+
+// FailNode simulates the loss of a cluster node mid-run: its executors die
+// and the engine immediately reallocates as many executors as remaining
+// capacity allows (possibly fewer than the configured count), paying the
+// reconfiguration setup cost. Batches already queued keep their records.
+func (e *Engine) FailNode(nodeID int) error {
+	if err := e.cl.SetFailed(nodeID, true); err != nil {
+		return err
+	}
+	e.reallocate()
+	return nil
+}
+
+// RestoreNode returns a failed node to service and re-fills the executor
+// allocation back toward the configured count.
+func (e *Engine) RestoreNode(nodeID int) error {
+	if err := e.cl.SetFailed(nodeID, false); err != nil {
+		return err
+	}
+	e.reallocate()
+	return nil
+}
+
+// reallocate rebuilds the executor set after a capacity change, capped by
+// what the live cluster can host. With zero capacity the engine holds no
+// executors and processing stalls until a node returns.
+func (e *Engine) reallocate() {
+	e.cl.Release(e.execs)
+	e.execs = nil
+	want := e.cfg.Executors
+	if avail := e.cl.FreeCores(); want > avail {
+		want = avail
+	}
+	if want > 0 {
+		execs, err := e.cl.Allocate(want)
+		if err == nil {
+			e.execs = execs
+		}
+	}
+	e.setupOwed = true
+	e.markFirst = true
+	e.trySchedule()
+}
+
+// LiveExecutors returns the number of currently-allocated executors, which
+// can fall below the configured count after node failures.
+func (e *Engine) LiveExecutors() int { return len(e.execs) }
+
+// Config returns the live configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ConfigBounds returns the feasible region.
+func (e *Engine) ConfigBounds() Bounds { return e.opts.Bounds }
+
+// QueueLen returns the number of batches waiting (not counting in-flight).
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Lag returns unconsumed records in the broker.
+func (e *Engine) Lag() int64 { return e.group.Lag() }
+
+// History returns all completed batch stats in completion order.
+func (e *Engine) History() []BatchStats { return e.history }
+
+// Reconfigs returns how many configuration changes have been applied.
+func (e *Engine) Reconfigs() int { return e.reconfigs }
+
+// TotalRecords returns the number of records produced so far.
+func (e *Engine) TotalRecords() int64 { return e.totalRecords }
+
+// DroppedByCap returns records rejected by the ingest cap (back-pressure).
+func (e *Engine) DroppedByCap() int64 { return e.droppedByCap }
+
+// SetIngestCap adjusts the accepted input rate limit (records/second);
+// non-positive removes the limit. This is the actuator for the
+// back-pressure baseline.
+func (e *Engine) SetIngestCap(limit float64) { e.ingestCap = limit }
+
+// RecentRateMean returns the mean observed arrival rate (records/second)
+// over the rate window.
+func (e *Engine) RecentRateMean() float64 { return e.rates.Mean() }
+
+// RecentRateStd returns the standard deviation of the observed arrival rate
+// over the rate window — the signal §5.5 thresholds to detect surges.
+func (e *Engine) RecentRateStd() float64 { return e.rates.Std() }
+
+// Clock exposes the engine's clock for controllers that must co-schedule.
+func (e *Engine) Clock() *sim.Clock { return e.clock }
+
+// Workload returns the engine's workload.
+func (e *Engine) Workload() workload.Workload { return e.wl }

@@ -1,0 +1,297 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) against the simulated substrate. Each experiment returns
+// a structured result with a text renderer, so the nostop-bench command and
+// the benchmark harness print the same rows/series the paper reports.
+//
+// Per-experiment index (see DESIGN.md §3 for the mapping discussion):
+//
+//	Table2()       – the heterogeneous cluster inventory
+//	Fig2(cfg)      – batch interval vs processing time / schedule delay
+//	Fig3(cfg)      – executor count vs processing time / schedule delay
+//	Fig5(cfg)      – time-varying input rate traces per workload
+//	Fig6(cfg)      – NoStop's optimization evolution per workload
+//	Fig7(cfg)      – improvement over the default configuration (5 runs)
+//	Fig8(cfg)      – SPSA vs Bayesian Optimization (5 runs)
+//	BackPressure(cfg) – NoStop vs Spark back-pressure (abstract's claim)
+//	Ablation*(cfg) – design-choice studies from DESIGN.md §4
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nostop/internal/baselines"
+	"nostop/internal/cluster"
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives every stochastic component; runs with equal seeds are
+	// bit-identical.
+	Seed uint64
+	// Repetitions for the averaged experiments; 0 means the paper's 5.
+	Repetitions int
+	// Horizon is the virtual duration of each run; 0 means 2h.
+	Horizon time.Duration
+	// Warmup is the fraction of each run discarded before measuring
+	// steady state; 0 means 0.7 (the optimizer needs most of the run to
+	// converge, and the figures report converged performance).
+	Warmup float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 5
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 2 * time.Hour
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 0.7
+	}
+	return c
+}
+
+// Quick returns a configuration small enough for unit tests: one
+// repetition over a 40-minute horizon.
+func Quick() Config {
+	return Config{Seed: 1, Repetitions: 1, Horizon: 40 * time.Minute, Warmup: 0.5}
+}
+
+// Table is a rendered experiment result: a title, a header row, and rows of
+// formatted cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the qualitative observations that accompany the
+	// paper's figure (who wins, where the knee is).
+	Notes []string
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// bandTrace builds the §6.2.2 uniform-band trace for a workload.
+func bandTrace(wl workload.Workload, seed *rng.Stream) ratetrace.Trace {
+	min, max := wl.RateBand()
+	return ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split("trace-"+wl.Name()))
+}
+
+// runResult captures one engine run.
+type runResult struct {
+	history []engine.BatchStats
+	eng     *engine.Engine
+	ctl     *core.Controller // nil unless NoStop ran
+	bo      *baselines.BayesOpt
+}
+
+// tailE2E returns steady-state end-to-end delays (after warmup), skipping
+// reconfiguration batches.
+func (r *runResult) tailE2E(warmup float64) []float64 {
+	start := int(float64(len(r.history)) * warmup)
+	var out []float64
+	for _, b := range r.history[start:] {
+		if b.FirstAfterReconfig {
+			continue
+		}
+		out = append(out, b.EndToEndDelay.Seconds())
+	}
+	return out
+}
+
+// runStatic executes a fixed configuration over the horizon.
+func runStatic(wlName string, trace ratetrace.Trace, cfg engine.Config, horizon time.Duration, seed *rng.Stream) (*runResult, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, err
+	}
+	if trace == nil {
+		trace = bandTrace(wl, seed)
+	}
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	clock.RunUntil(sim.Time(horizon))
+	return &runResult{history: eng.History(), eng: eng}, nil
+}
+
+// runNoStop executes a NoStop-tuned run over the horizon.
+func runNoStop(wlName string, trace ratetrace.Trace, horizon time.Duration, seed *rng.Stream, mutate func(*core.Options)) (*runResult, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, err
+	}
+	if trace == nil {
+		trace = bandTrace(wl, seed)
+	}
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	copts := core.Options{Seed: seed.Split("controller")}
+	if mutate != nil {
+		mutate(&copts)
+	}
+	ctl, err := core.New(eng, copts)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if err := ctl.Attach(); err != nil {
+		return nil, err
+	}
+	clock.RunUntil(sim.Time(horizon))
+	return &runResult{history: eng.History(), eng: eng, ctl: ctl}, nil
+}
+
+// runBayesOpt executes a Bayesian-optimization-tuned run.
+func runBayesOpt(wlName string, trace ratetrace.Trace, horizon time.Duration, seed *rng.Stream) (*runResult, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, err
+	}
+	if trace == nil {
+		trace = bandTrace(wl, seed)
+	}
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	bo, err := baselines.NewBayesOpt(eng, baselines.BOOptions{Seed: seed.Split("bo")})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if err := bo.Attach(); err != nil {
+		return nil, err
+	}
+	clock.RunUntil(sim.Time(horizon))
+	return &runResult{history: eng.History(), eng: eng, bo: bo}, nil
+}
+
+// meanStd formats "m ± s".
+func meanStd(xs []float64) string {
+	s := stats.Summarize(xs)
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean, s.Std)
+}
+
+// Table2 renders the paper's cluster inventory from the live model.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: List of cluster nodes",
+		Header: []string{"Node ID", "CPU", "Cores", "Disk", "Type", "Speed", "DiskFactor"},
+	}
+	for _, n := range cluster.Table2().Nodes() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n.ID),
+			n.CPUModel,
+			fmt.Sprintf("%d", n.Cores),
+			n.Disk.String(),
+			n.Role.String(),
+			fmt.Sprintf("%.2f", n.SpeedFactor),
+			fmt.Sprintf("%.2f", n.DiskFactor),
+		})
+	}
+	t.Notes = append(t.Notes, "speed/disk factors are the simulation's heterogeneity model")
+	return t
+}
+
+// RunAll executes every experiment at the given scale and renders them.
+func RunAll(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	Table2().Render(w)
+	for _, run := range []func(Config) (*Table, error){
+		Fig2, Fig3, Fig5, Fig6, Fig7, Fig8, BackPressure,
+		AblationPenaltyRamp, AblationFirstBatch, AblationWindow,
+		AblationReset, AblationGains, AblationScaling, AblationStepClip,
+		AblationObjective,
+		Extension3Param, ExtensionAutoGains, ExtensionNodeFailure,
+	} {
+		t, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// The experiments in this file cover the paper's §7 future work, which this
+// reproduction implements: multi-parameter tuning, automatic gain-sequence
+// selection, and (extending the paper's transparency claim) adaptation to
+// node failures.
+
+// blockBounds returns the default bounds with a tunable block interval.
+func blockBounds() engine.Bounds {
+	b := engine.DefaultBounds()
+	b.MinBlock, b.MaxBlock = 50*time.Millisecond, 2*time.Second
+	return b
+}
+
+// runTuned is runNoStop with an engine-options hook (extensions need
+// non-default bounds and failure injection).
+func runTuned(wlName string, horizon time.Duration, seed *rng.Stream,
+	eo func(*engine.Options), co func(*core.Options), during func(*sim.Clock, *engine.Engine)) (*runResult, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, err
+	}
+	eopts := engine.Options{
+		Workload: wl,
+		Trace:    bandTrace(wl, seed),
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+	}
+	if eo != nil {
+		eo(&eopts)
+	}
+	eng, err := engine.New(clock, eopts)
+	if err != nil {
+		return nil, err
+	}
+	copts := core.Options{Seed: seed.Split("controller")}
+	if co != nil {
+		co(&copts)
+	}
+	ctl, err := core.New(eng, copts)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if err := ctl.Attach(); err != nil {
+		return nil, err
+	}
+	if during != nil {
+		during(clock, eng)
+	}
+	clock.RunUntil(sim.Time(horizon))
+	return &runResult{history: eng.History(), eng: eng, ctl: ctl}, nil
+}
+
+// Extension3Param compares two-parameter NoStop against the §7 future-work
+// three-parameter variant that also tunes the receiver block interval.
+func Extension3Param(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	seed := rng.New(cfg.Seed).Split("ext-3param")
+	t := &Table{
+		Title:  "Extension (§7): three-parameter tuning (+ receiver block interval)",
+		Header: []string{"variant", "steady e2e(s)", "iterations", "final config"},
+	}
+	for _, v := range []struct {
+		name string
+		tune bool
+	}{
+		{"2 parameters (paper)", false},
+		{"3 parameters", true},
+	} {
+		var e2es, iters []float64
+		var finalCfg engine.Config
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			res, err := runTuned("logreg", cfg.Horizon,
+				seed.Split(fmt.Sprintf("%s-%d", v.name, rep)),
+				func(o *engine.Options) { o.Bounds = blockBounds() },
+				func(o *core.Options) { o.TuneBlockInterval = v.tune },
+				nil)
+			if err != nil {
+				return nil, err
+			}
+			e2es = append(e2es, stats.Mean(res.tailE2E(cfg.Warmup)))
+			iters = append(iters, float64(len(res.ctl.Iterations())))
+			finalCfg = res.eng.Config()
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, meanStd(e2es),
+			fmt.Sprintf("%.1f", stats.Mean(iters)),
+			finalCfg.String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"SPSA still takes exactly two measurements per iteration in three dimensions (the paper's §7 point)")
+	return t, nil
+}
+
+// ExtensionAutoGains compares the paper's hand-chosen gain constants with
+// the §7 future-work automatic derivation (c from observed measurement
+// noise, a from the normalised span).
+func ExtensionAutoGains(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	seed := rng.New(cfg.Seed).Split("ext-autogains")
+	t := &Table{
+		Title:  "Extension (§7): automatic gain-sequence selection",
+		Header: []string{"workload", "manual a=10,c=2 e2e(s)", "auto gains e2e(s)"},
+	}
+	for _, wl := range workload.All() {
+		name := nameOf(wl)
+		var manual, auto []float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
+			m, err := runTuned(name, cfg.Horizon, repSeed.Split("manual"), nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			manual = append(manual, stats.Mean(m.tailE2E(cfg.Warmup)))
+			a, err := runTuned(name, cfg.Horizon, repSeed.Split("auto"), nil,
+				func(o *core.Options) { o.AutoGains = true }, nil)
+			if err != nil {
+				return nil, err
+			}
+			auto = append(auto, stats.Mean(a.tailE2E(cfg.Warmup)))
+		}
+		t.Rows = append(t.Rows, []string{wl.Name(), meanStd(manual), meanStd(auto)})
+	}
+	t.Notes = append(t.Notes,
+		"auto gains watch 8 calibration batches, then set c to the observed delay noise (§5.6's rule, automated)")
+	return t, nil
+}
+
+// ExtensionNodeFailure kills a fast worker node mid-run and reports how the
+// tuned system absorbs the 25% capacity loss — extending the paper's claim
+// that NoStop "tackles hardware heterogeneity in a transparent manner".
+func ExtensionNodeFailure(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	seed := rng.New(cfg.Seed).Split("ext-failure")
+	t := &Table{
+		Title:  "Extension: node failure mid-run (node 5 dies at half-horizon)",
+		Header: []string{"variant", "pre-failure e2e(s)", "post-failure e2e(s)", "final queue"},
+	}
+	for _, v := range []struct {
+		name  string
+		tuned bool
+	}{
+		{"fixed default config", false},
+		{"NoStop", true},
+	} {
+		var pre, post, queue []float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			repSeed := seed.Split(fmt.Sprintf("%s-%d", v.name, rep))
+			inject := func(clock *sim.Clock, eng *engine.Engine) {
+				clock.At(sim.Time(cfg.Horizon/2), func() { _ = eng.FailNode(5) })
+			}
+			var res *runResult
+			var err error
+			if v.tuned {
+				res, err = runTuned("logreg", cfg.Horizon, repSeed, nil, nil, inject)
+			} else {
+				res, err = runStaticWithFailure("logreg", cfg.Horizon, repSeed)
+			}
+			if err != nil {
+				return nil, err
+			}
+			// Steady-state windows on both sides of the failure: the
+			// second quarter (post-convergence, pre-failure) and the
+			// final quarter (post-failure).
+			n := len(res.history)
+			var preXs, postXs []float64
+			for i, b := range res.history {
+				if b.FirstAfterReconfig {
+					continue
+				}
+				if i >= n/4 && i < n/2 {
+					preXs = append(preXs, b.EndToEndDelay.Seconds())
+				} else if i >= n*3/4 {
+					postXs = append(postXs, b.EndToEndDelay.Seconds())
+				}
+			}
+			pre = append(pre, stats.Mean(preXs))
+			post = append(post, stats.Mean(postXs))
+			queue = append(queue, float64(res.eng.QueueLen()))
+		}
+		t.Rows = append(t.Rows, []string{v.name, meanStd(pre), meanStd(post), fmt.Sprintf("%.1f", stats.Mean(queue))})
+	}
+	t.Notes = append(t.Notes,
+		"node 5 is a fast I5-10400 worker (25% of capacity); the engine reallocates surviving executors automatically")
+	return t, nil
+}
+
+// runStaticWithFailure mirrors runStatic plus the half-horizon failure.
+func runStaticWithFailure(wlName string, horizon time.Duration, seed *rng.Stream) (*runResult, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    bandTrace(wl, seed),
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	clock.At(sim.Time(horizon/2), func() { _ = eng.FailNode(5) })
+	clock.RunUntil(sim.Time(horizon))
+	return &runResult{history: eng.History(), eng: eng}, nil
+}

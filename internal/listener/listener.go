@@ -1,0 +1,209 @@
+// Package listener implements the "Spark Streaming Listener" of the NoStop
+// architecture (Fig 4): it observes completed batches, renders each as a
+// JSON status report, and serves live system status over HTTP so external
+// tooling can watch the optimization without touching the engine.
+package listener
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"nostop/internal/engine"
+	"nostop/internal/stats"
+)
+
+// BatchReport is the JSON document emitted per completed batch. Field names
+// follow the Spark Streaming listener vocabulary.
+type BatchReport struct {
+	BatchID           int64   `json:"batchId"`
+	NumRecords        int64   `json:"numRecords"`
+	BatchIntervalMs   int64   `json:"batchIntervalMs"`
+	Executors         int     `json:"numExecutors"`
+	SubmissionTimeSec float64 `json:"submissionTime"`
+	ProcessingDelayMs int64   `json:"processingDelayMs"`
+	SchedulingDelayMs int64   `json:"schedulingDelayMs"`
+	TotalDelayMs      int64   `json:"totalDelayMs"`
+	EndToEndDelayMs   int64   `json:"endToEndDelayMs"`
+	FirstAfterChange  bool    `json:"firstAfterReconfig"`
+	QueueLength       int     `json:"queueLength"`
+}
+
+// Report converts engine batch stats into the JSON report form.
+func Report(bs engine.BatchStats) BatchReport {
+	return BatchReport{
+		BatchID:           bs.ID,
+		NumRecords:        bs.Records,
+		BatchIntervalMs:   bs.Config.BatchInterval.Milliseconds(),
+		Executors:         bs.Config.Executors,
+		SubmissionTimeSec: bs.CutAt.Seconds(),
+		ProcessingDelayMs: bs.ProcessingTime.Milliseconds(),
+		SchedulingDelayMs: bs.SchedulingDelay.Milliseconds(),
+		TotalDelayMs:      (bs.ProcessingTime + bs.SchedulingDelay).Milliseconds(),
+		EndToEndDelayMs:   bs.EndToEndDelay.Milliseconds(),
+		FirstAfterChange:  bs.FirstAfterReconfig,
+		QueueLength:       bs.QueueLen,
+	}
+}
+
+// Status summarises the live system for the /status endpoint.
+type Status struct {
+	Batches         int     `json:"batches"`
+	BatchIntervalMs int64   `json:"batchIntervalMs"`
+	Executors       int     `json:"numExecutors"`
+	QueueLength     int     `json:"queueLength"`
+	LagRecords      int64   `json:"lagRecords"`
+	RateMean        float64 `json:"inputRateMean"`
+	RateStd         float64 `json:"inputRateStd"`
+	MeanProcMs      float64 `json:"meanProcessingMs"`
+	MeanE2EMs       float64 `json:"meanEndToEndMs"`
+	P95E2EMs        float64 `json:"p95EndToEndMs"`
+}
+
+// Collector subscribes to an engine, retains reports, and serves them over
+// HTTP. It is safe for concurrent use: the simulation appends from its
+// thread while HTTP handlers read from server goroutines.
+type Collector struct {
+	eng *engine.Engine
+
+	mu      sync.RWMutex
+	reports []BatchReport
+	maxKeep int
+}
+
+// NewCollector attaches a collector to the engine. maxKeep bounds retained
+// reports (0 means 100000).
+func NewCollector(eng *engine.Engine, maxKeep int) (*Collector, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("listener: nil engine")
+	}
+	if maxKeep == 0 {
+		maxKeep = 100000
+	}
+	c := &Collector{eng: eng, maxKeep: maxKeep}
+	eng.AddListener(engine.ListenerFunc(c.onBatch))
+	return c, nil
+}
+
+func (c *Collector) onBatch(bs engine.BatchStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.reports) == c.maxKeep {
+		copy(c.reports, c.reports[1:])
+		c.reports = c.reports[:len(c.reports)-1]
+	}
+	c.reports = append(c.reports, Report(bs))
+}
+
+// Reports returns a copy of the retained reports.
+func (c *Collector) Reports() []BatchReport {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]BatchReport(nil), c.reports...)
+}
+
+// Latest returns the most recent report; ok is false when none exist.
+func (c *Collector) Latest() (BatchReport, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.reports) == 0 {
+		return BatchReport{}, false
+	}
+	return c.reports[len(c.reports)-1], true
+}
+
+// Status computes the live summary.
+func (c *Collector) Status() Status {
+	c.mu.RLock()
+	var proc, e2e []float64
+	for _, r := range c.reports {
+		proc = append(proc, float64(r.ProcessingDelayMs))
+		e2e = append(e2e, float64(r.EndToEndDelayMs))
+	}
+	n := len(c.reports)
+	c.mu.RUnlock()
+
+	cfg := c.eng.Config()
+	e2eSum := stats.Summarize(e2e)
+	return Status{
+		Batches:         n,
+		BatchIntervalMs: cfg.BatchInterval.Milliseconds(),
+		Executors:       cfg.Executors,
+		QueueLength:     c.eng.QueueLen(),
+		LagRecords:      c.eng.Lag(),
+		RateMean:        c.eng.RecentRateMean(),
+		RateStd:         c.eng.RecentRateStd(),
+		MeanProcMs:      stats.Mean(proc),
+		MeanE2EMs:       e2eSum.Mean,
+		P95E2EMs:        e2eSum.P95,
+	}
+}
+
+// Handler returns an http.Handler exposing:
+//
+//	GET /status          live Status JSON
+//	GET /batches         all retained reports (?last=N for the tail)
+//	GET /batches/latest  the most recent report
+//	GET /metrics         Prometheus text exposition of the same gauges
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := c.Status()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, m := range []struct {
+			name, help string
+			value      float64
+		}{
+			{"nostop_batches_total", "Completed batches", float64(st.Batches)},
+			{"nostop_batch_interval_ms", "Live batch interval", float64(st.BatchIntervalMs)},
+			{"nostop_executors", "Live executor count", float64(st.Executors)},
+			{"nostop_queue_length", "Waiting batches", float64(st.QueueLength)},
+			{"nostop_lag_records", "Unconsumed broker records", float64(st.LagRecords)},
+			{"nostop_input_rate_mean", "Mean input rate (rec/s)", st.RateMean},
+			{"nostop_input_rate_std", "Input rate std (rec/s)", st.RateStd},
+			{"nostop_processing_ms_mean", "Mean batch processing time", st.MeanProcMs},
+			{"nostop_end_to_end_ms_mean", "Mean end-to-end delay", st.MeanE2EMs},
+			{"nostop_end_to_end_ms_p95", "p95 end-to-end delay", st.P95E2EMs},
+		} {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+				m.name, m.help, m.name, m.name, m.value)
+		}
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("GET /batches", func(w http.ResponseWriter, r *http.Request) {
+		reports := c.Reports()
+		if lastStr := r.URL.Query().Get("last"); lastStr != "" {
+			last, err := strconv.Atoi(lastStr)
+			if err != nil || last < 0 {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			if last < len(reports) {
+				reports = reports[len(reports)-last:]
+			}
+		}
+		writeJSON(w, reports)
+	})
+	mux.HandleFunc("GET /batches/latest", func(w http.ResponseWriter, r *http.Request) {
+		latest, ok := c.Latest()
+		if !ok {
+			http.Error(w, "no batches yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, latest)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

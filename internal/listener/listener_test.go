@@ -1,0 +1,267 @@
+package listener
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/workload"
+)
+
+func newRunningEngine(t *testing.T, horizon float64) (*engine.Engine, *Collector) {
+	t.Helper()
+	clock := sim.NewClock()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 50000},
+		Seed:     rng.New(3),
+		Initial:  engine.Config{BatchInterval: 5 * time.Second, Executors: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(eng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(sim.Time(time.Duration(horizon * float64(time.Second))))
+	return eng, col
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(nil, 0); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	bs := engine.BatchStats{
+		ID:                 7,
+		Records:            1234,
+		Config:             engine.Config{BatchInterval: 5 * time.Second, Executors: 9},
+		CutAt:              sim.Time(10 * time.Second),
+		SchedulingDelay:    500 * time.Millisecond,
+		ProcessingTime:     2 * time.Second,
+		EndToEndDelay:      5 * time.Second,
+		FirstAfterReconfig: true,
+		QueueLen:           2,
+	}
+	r := Report(bs)
+	if r.BatchID != 7 || r.NumRecords != 1234 || r.Executors != 9 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.BatchIntervalMs != 5000 || r.ProcessingDelayMs != 2000 || r.SchedulingDelayMs != 500 {
+		t.Fatalf("delays wrong: %+v", r)
+	}
+	if r.TotalDelayMs != 2500 {
+		t.Fatalf("TotalDelayMs=%d, want 2500", r.TotalDelayMs)
+	}
+	if !r.FirstAfterChange || r.QueueLength != 2 || r.SubmissionTimeSec != 10 {
+		t.Fatalf("flags wrong: %+v", r)
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	eng, col := newRunningEngine(t, 120)
+	reports := col.Reports()
+	if len(reports) != len(eng.History()) {
+		t.Fatalf("collector has %d, engine %d", len(reports), len(eng.History()))
+	}
+	latest, ok := col.Latest()
+	if !ok || latest.BatchID != reports[len(reports)-1].BatchID {
+		t.Fatalf("Latest mismatch: %+v", latest)
+	}
+	// Reports must be JSON-serialisable with the expected keys.
+	blob, err := json.Marshal(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batchId", "numRecords", "processingDelayMs", "schedulingDelayMs", "totalDelayMs"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("JSON missing key %q: %s", key, blob)
+		}
+	}
+}
+
+func TestCollectorEviction(t *testing.T) {
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+		Seed:     rng.New(4),
+		Initial:  engine.Config{BatchInterval: 2 * time.Second, Executors: 4},
+	})
+	col, _ := NewCollector(eng, 5)
+	eng.Start()
+	clock.RunUntil(sim.Time(60 * time.Second))
+	reports := col.Reports()
+	if len(reports) != 5 {
+		t.Fatalf("kept %d reports, want 5", len(reports))
+	}
+	// Must be the most recent five, in order.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].BatchID != reports[i-1].BatchID+1 {
+			t.Fatalf("eviction broke ordering: %+v", reports)
+		}
+	}
+	if last := eng.History()[len(eng.History())-1]; reports[4].BatchID != last.ID {
+		t.Fatalf("newest report %d != newest batch %d", reports[4].BatchID, last.ID)
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	col, _ := NewCollector(eng, 0)
+	if _, ok := col.Latest(); ok {
+		t.Fatal("Latest on empty collector")
+	}
+}
+
+func TestStatusSummary(t *testing.T) {
+	eng, col := newRunningEngine(t, 300)
+	st := col.Status()
+	if st.Batches != len(eng.History()) {
+		t.Fatalf("Batches=%d, want %d", st.Batches, len(eng.History()))
+	}
+	if st.BatchIntervalMs != 5000 || st.Executors != 8 {
+		t.Fatalf("config in status wrong: %+v", st)
+	}
+	if st.RateMean < 45000 || st.RateMean > 55000 {
+		t.Fatalf("RateMean=%v, want ≈50000", st.RateMean)
+	}
+	if st.MeanProcMs <= 0 || st.MeanE2EMs <= st.MeanProcMs {
+		t.Fatalf("delay summary inconsistent: %+v", st)
+	}
+	if st.P95E2EMs < st.MeanE2EMs*0.5 {
+		t.Fatalf("p95 %v below half the mean %v", st.P95E2EMs, st.MeanE2EMs)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	_, col := newRunningEngine(t, 120)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	getJSON := func(path string, v any) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var st Status
+	if code := getJSON("/status", &st); code != 200 {
+		t.Fatalf("/status code %d", code)
+	}
+	if st.Batches == 0 {
+		t.Fatal("/status shows no batches")
+	}
+
+	var all []BatchReport
+	if code := getJSON("/batches", &all); code != 200 {
+		t.Fatal("bad /batches")
+	}
+	if len(all) != st.Batches {
+		t.Fatalf("/batches returned %d, status says %d", len(all), st.Batches)
+	}
+
+	var tail []BatchReport
+	if code := getJSON("/batches?last=3", &tail); code != 200 {
+		t.Fatal("bad /batches?last=3")
+	}
+	if len(tail) != 3 {
+		t.Fatalf("last=3 returned %d", len(tail))
+	}
+	if tail[2].BatchID != all[len(all)-1].BatchID {
+		t.Fatal("tail not aligned with newest")
+	}
+
+	var latest BatchReport
+	if code := getJSON("/batches/latest", &latest); code != 200 {
+		t.Fatal("bad /batches/latest")
+	}
+	if latest.BatchID != all[len(all)-1].BatchID {
+		t.Fatal("latest mismatch")
+	}
+
+	var junk any
+	if code := getJSON("/batches?last=x", &junk); code != 400 {
+		t.Fatalf("bad last parameter gave %d, want 400", code)
+	}
+}
+
+func TestHTTPLatestEmpty404(t *testing.T) {
+	clock := sim.NewClock()
+	eng, _ := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 1000},
+	})
+	col, _ := NewCollector(eng, 0)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/batches/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("code %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, col := newRunningEngine(t, 120)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics code %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"nostop_batches_total", "nostop_queue_length", "nostop_input_rate_mean",
+		"# TYPE nostop_executors gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The gauge values must reflect the live system.
+	if !strings.Contains(text, "nostop_executors 8") {
+		t.Fatalf("executors gauge wrong:\n%s", text)
+	}
+}

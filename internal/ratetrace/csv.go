@@ -1,0 +1,51 @@
+package ratetrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"nostop/internal/sim"
+)
+
+// FromCSV reads a piecewise-constant rate trace from CSV rows of
+// "seconds,rate" (an optional header row is skipped). Timestamps must be
+// ascending and non-negative; the first segment's rate applies from time
+// zero. This is the hook for replaying measured production traces in place
+// of the synthetic generators.
+func FromCSV(r io.Reader) (Steps, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	var steps []Step
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ratetrace: csv line %d: %w", line, err)
+		}
+		secs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("ratetrace: csv line %d: bad time %q", line, rec[0])
+		}
+		rate, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ratetrace: csv line %d: bad rate %q", line, rec[1])
+		}
+		if secs < 0 || rate < 0 {
+			return nil, fmt.Errorf("ratetrace: csv line %d: negative value", line)
+		}
+		steps = append(steps, Step{
+			From: sim.Time(secs * float64(time.Second)),
+			Rate: rate,
+		})
+	}
+	return NewSteps(steps)
+}

@@ -1,0 +1,57 @@
+package ratetrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromCSV(t *testing.T) {
+	in := "seconds,rate\n0,1000\n10,2500\n25.5,500\n"
+	tr, err := FromCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 1000}, {9.9, 1000}, {10, 2500}, {25.4, 2500}, {25.5, 500}, {100, 500},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(sec(c.t)); got != c.want {
+			t.Fatalf("RateAt(%vs)=%v, want %v", c.t, got, c.want)
+		}
+	}
+	// Exact integration through the Stepper interface.
+	if n := RecordsIn(tr, 0, sec(20)); !near(n, 10*1000+10*2500, 1e-6) {
+		t.Fatalf("RecordsIn=%v", n)
+	}
+}
+
+func TestFromCSVNoHeader(t *testing.T) {
+	tr, err := FromCSV(strings.NewReader("0,42\n5,84\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RateAt(0) != 42 || tr.RateAt(sec(6)) != 84 {
+		t.Fatal("headerless CSV misparsed")
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"header only":     "seconds,rate\n",
+		"bad rate":        "0,abc\n",
+		"bad later time":  "0,1\nxyz,2\n",
+		"negative time":   "-5,1\n",
+		"negative rate":   "0,-1\n",
+		"non-ascending":   "0,1\n10,2\n5,3\n",
+		"wrong field num": "0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := FromCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

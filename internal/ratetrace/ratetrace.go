@@ -1,0 +1,298 @@
+// Package ratetrace models the arrival rate of streaming input data.
+//
+// The paper's generator "sends data items at a random rate within a certain
+// range" (§6.2.2: MinRate <= Rate <= MaxRate) and §5.5 additionally requires
+// traffic surges (e-commerce promotions, spike activities) to exercise
+// NoStop's optimization-restart logic. Each Trace maps virtual time to an
+// instantaneous rate in records/second; generators hold a sampled rate for a
+// dwell period, mirroring a producer that re-rolls its speed periodically.
+package ratetrace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+)
+
+// Trace reports the instantaneous input data rate (records/second) at a
+// virtual time. Implementations must be deterministic: the same t always
+// yields the same rate, so that consumers may query out of order.
+type Trace interface {
+	// RateAt returns the arrival rate in records per second at time t.
+	RateAt(t sim.Time) float64
+	// Describe returns a short human-readable description for reports.
+	Describe() string
+}
+
+// Constant is a fixed-rate trace.
+type Constant struct {
+	Rate float64 // records/second
+}
+
+// RateAt implements Trace.
+func (c Constant) RateAt(sim.Time) float64 { return c.Rate }
+
+// Describe implements Trace.
+func (c Constant) Describe() string { return fmt.Sprintf("constant %.0f rec/s", c.Rate) }
+
+// UniformBand re-samples a rate uniformly in [Min, Max] every Dwell period
+// and holds it, reproducing the paper's experimental generator. Sampling is
+// a pure function of the dwell-slot index, so RateAt is deterministic and
+// random-access.
+type UniformBand struct {
+	Min, Max float64
+	Dwell    time.Duration
+	seed     *rng.Stream
+}
+
+// NewUniformBand returns a band trace; dwell must be positive and max >= min.
+func NewUniformBand(min, max float64, dwell time.Duration, seed *rng.Stream) *UniformBand {
+	if dwell <= 0 {
+		panic("ratetrace: dwell must be positive")
+	}
+	if max < min {
+		panic(fmt.Sprintf("ratetrace: max %v < min %v", max, min))
+	}
+	return &UniformBand{Min: min, Max: max, Dwell: dwell, seed: seed}
+}
+
+// RateAt implements Trace.
+func (u *UniformBand) RateAt(t sim.Time) float64 {
+	slot := int64(t / sim.Time(u.Dwell))
+	// Derive a per-slot stream so lookups are order-independent.
+	s := u.seed.Split(fmt.Sprintf("slot-%d", slot))
+	return u.Min + (u.Max-u.Min)*s.Float64()
+}
+
+// Describe implements Trace.
+func (u *UniformBand) Describe() string {
+	return fmt.Sprintf("uniform [%.0f, %.0f] rec/s, dwell %v", u.Min, u.Max, u.Dwell)
+}
+
+// Sine oscillates around Mean with the given Amplitude and Period, clamped
+// at zero. Models smooth diurnal-style variation.
+type Sine struct {
+	Mean      float64
+	Amplitude float64
+	Period    time.Duration
+	Phase     float64 // radians
+}
+
+// RateAt implements Trace.
+func (s Sine) RateAt(t sim.Time) float64 {
+	if s.Period <= 0 {
+		return s.Mean
+	}
+	omega := 2 * math.Pi / s.Period.Seconds()
+	r := s.Mean + s.Amplitude*math.Sin(omega*t.Seconds()+s.Phase)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Describe implements Trace.
+func (s Sine) Describe() string {
+	return fmt.Sprintf("sine %.0f±%.0f rec/s, period %v", s.Mean, s.Amplitude, s.Period)
+}
+
+// Surge holds Base rate, then jumps to Peak during [Start, Start+Duration),
+// then returns to Base. Exercises §5.5's reset-on-rate-change logic.
+type Surge struct {
+	Base, Peak float64
+	Start      sim.Time
+	Duration   time.Duration
+}
+
+// RateAt implements Trace.
+func (s Surge) RateAt(t sim.Time) float64 {
+	if t >= s.Start && t < s.Start+sim.Time(s.Duration) {
+		return s.Peak
+	}
+	return s.Base
+}
+
+// Describe implements Trace.
+func (s Surge) Describe() string {
+	return fmt.Sprintf("surge %.0f→%.0f rec/s at %v for %v", s.Base, s.Peak, s.Start, s.Duration)
+}
+
+// Step is one segment of a piecewise-constant trace.
+type Step struct {
+	From sim.Time // segment start (inclusive)
+	Rate float64
+}
+
+// Steps is a piecewise-constant trace defined by ascending segments. Times
+// before the first segment use the first segment's rate.
+type Steps []Step
+
+// NewSteps validates and returns a step trace. Segments must be ascending.
+func NewSteps(steps []Step) (Steps, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("ratetrace: empty step trace")
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].From <= steps[i-1].From {
+			return nil, fmt.Errorf("ratetrace: step %d at %v not after %v", i, steps[i].From, steps[i-1].From)
+		}
+	}
+	return Steps(steps), nil
+}
+
+// RateAt implements Trace.
+func (s Steps) RateAt(t sim.Time) float64 {
+	// Binary search for the last segment with From <= t.
+	i := sort.Search(len(s), func(i int) bool { return s[i].From > t })
+	if i == 0 {
+		return s[0].Rate
+	}
+	return s[i-1].Rate
+}
+
+// Describe implements Trace.
+func (s Steps) Describe() string { return fmt.Sprintf("piecewise-constant, %d segments", len(s)) }
+
+// Scaled multiplies an inner trace by Factor — handy for replaying a shape
+// at a workload-appropriate magnitude.
+type Scaled struct {
+	Inner  Trace
+	Factor float64
+}
+
+// RateAt implements Trace.
+func (s Scaled) RateAt(t sim.Time) float64 { return s.Factor * s.Inner.RateAt(t) }
+
+// Describe implements Trace.
+func (s Scaled) Describe() string {
+	return fmt.Sprintf("%.2fx (%s)", s.Factor, s.Inner.Describe())
+}
+
+// Clamped restricts an inner trace to [Min, Max], mirroring §6.2.2's note
+// that systems restrict instantaneous surge rates (e.g. Kafka quota).
+type Clamped struct {
+	Inner    Trace
+	Min, Max float64
+}
+
+// RateAt implements Trace.
+func (c Clamped) RateAt(t sim.Time) float64 {
+	r := c.Inner.RateAt(t)
+	if r < c.Min {
+		return c.Min
+	}
+	if r > c.Max {
+		return c.Max
+	}
+	return r
+}
+
+// Describe implements Trace.
+func (c Clamped) Describe() string {
+	return fmt.Sprintf("clamp [%.0f, %.0f] of (%s)", c.Min, c.Max, c.Inner.Describe())
+}
+
+// Stepper is implemented by piecewise-constant traces. NextChange returns
+// the earliest instant strictly after t at which the rate may change
+// (sim.Infinity if it never does), letting RecordsIn integrate exactly with
+// one RateAt call per constant segment.
+type Stepper interface {
+	NextChange(t sim.Time) sim.Time
+}
+
+// NextChange implements Stepper: a constant never changes.
+func (c Constant) NextChange(sim.Time) sim.Time { return sim.Infinity }
+
+// NextChange implements Stepper: the next dwell-slot boundary.
+func (u *UniformBand) NextChange(t sim.Time) sim.Time {
+	slot := t / sim.Time(u.Dwell)
+	return (slot + 1) * sim.Time(u.Dwell)
+}
+
+// NextChange implements Stepper: the surge's start and end edges.
+func (s Surge) NextChange(t sim.Time) sim.Time {
+	if t < s.Start {
+		return s.Start
+	}
+	if end := s.Start + sim.Time(s.Duration); t < end {
+		return end
+	}
+	return sim.Infinity
+}
+
+// NextChange implements Stepper: the next segment boundary.
+func (s Steps) NextChange(t sim.Time) sim.Time {
+	i := sort.Search(len(s), func(i int) bool { return s[i].From > t })
+	if i == len(s) {
+		return sim.Infinity
+	}
+	return s[i].From
+}
+
+// NextChange implements Stepper by delegating to the inner trace.
+func (s Scaled) NextChange(t sim.Time) sim.Time {
+	if st, ok := s.Inner.(Stepper); ok {
+		return st.NextChange(t)
+	}
+	return t + 1 // unknown inner: force fine sampling in RecordsIn
+}
+
+// NextChange implements Stepper by delegating to the inner trace. Clamping a
+// piecewise-constant trace stays piecewise-constant on the same boundaries.
+func (c Clamped) NextChange(t sim.Time) sim.Time {
+	if st, ok := c.Inner.(Stepper); ok {
+		return st.NextChange(t)
+	}
+	return t + 1
+}
+
+// RecordsIn integrates a trace over [from, to), returning the (fractional)
+// number of records arriving in the interval. Traces implementing Stepper
+// integrate exactly segment by segment; other traces (e.g. Sine) fall back
+// to midpoint sampling at millisecond resolution.
+func RecordsIn(tr Trace, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	if st, ok := tr.(Stepper); ok {
+		total := 0.0
+		for t := from; t < to; {
+			next := st.NextChange(t)
+			if next <= t { // defensive: a broken Stepper must not hang us
+				next = t + sim.Time(time.Millisecond)
+			}
+			if next > to {
+				next = to
+			}
+			total += tr.RateAt(t) * (next - t).Seconds()
+			t = next
+		}
+		return total
+	}
+	const step = time.Millisecond
+	total := 0.0
+	for t := from; t < to; {
+		next := t + sim.Time(step)
+		if next > to {
+			next = to
+		}
+		mid := t + (next-t)/2
+		total += tr.RateAt(mid) * (next - t).Seconds()
+		t = next
+	}
+	return total
+}
+
+// Sample evaluates the trace every interval over [0, horizon) and returns
+// (times in seconds, rates). Used to render Fig 5.
+func Sample(tr Trace, horizon sim.Time, interval time.Duration) (ts, rates []float64) {
+	for t := sim.Time(0); t < horizon; t += sim.Time(interval) {
+		ts = append(ts, t.Seconds())
+		rates = append(rates, tr.RateAt(t))
+	}
+	return ts, rates
+}

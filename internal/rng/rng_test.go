@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Drawing extra values from one child must not change a sibling.
+	root1 := New(7)
+	root2 := New(7)
+	a1 := root1.Split("a")
+	b1 := root1.Split("b")
+	a2 := root2.Split("a")
+	b2 := root2.Split("b")
+	for i := 0; i < 50; i++ {
+		a1.Float64() // consume from a1 only
+	}
+	_ = a2
+	for i := 0; i < 20; i++ {
+		if b1.Float64() != b2.Float64() {
+			t.Fatal("sibling stream perturbed by other stream's draws")
+		}
+	}
+}
+
+func TestSplitSameNameSameStream(t *testing.T) {
+	x := New(9).Split("noise")
+	y := New(9).Split("noise")
+	for i := 0; i < 20; i++ {
+		if x.Float64() != y.Float64() {
+			t.Fatal("same-name splits differ")
+		}
+	}
+}
+
+func TestSplitDifferentNamesDiffer(t *testing.T) {
+	root := New(3)
+	x := root.Split("alpha")
+	y := root.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if x.Float64() == y.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("differently named splits matched %d/100 draws", same)
+	}
+}
+
+func TestNestedSplitName(t *testing.T) {
+	s := New(1).Split("engine").Split("noise")
+	if s.Name() != "root/engine/noise" {
+		t.Fatalf("name %q", s.Name())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform(5,10) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformRangeProperty(t *testing.T) {
+	s := New(13)
+	f := func(lo, span float64) bool {
+		lo = math.Mod(lo, 1e6)
+		span = math.Abs(math.Mod(span, 1e6)) + 1e-9
+		v := s.Uniform(lo, lo+span)
+		return v >= lo && v < lo+span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRademacherIsPlusMinusOneAndBalanced(t *testing.T) {
+	s := New(17)
+	plus := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := s.Rademacher()
+		if v != 1 && v != -1 {
+			t.Fatalf("Rademacher = %v", v)
+		}
+		if v == 1 {
+			plus++
+		}
+	}
+	frac := float64(plus) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("Rademacher +1 fraction %.3f far from 0.5", frac)
+	}
+}
+
+func TestNoiseFactorMeanNearOne(t *testing.T) {
+	s := New(23)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.NoiseFactor(0.2)
+		if v <= 0 {
+			t.Fatalf("NoiseFactor returned non-positive %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("NoiseFactor mean %.4f far from 1", mean)
+	}
+}
+
+func TestNoiseFactorZeroCV(t *testing.T) {
+	s := New(29)
+	if v := s.NoiseFactor(0); v != 1 {
+		t.Fatalf("NoiseFactor(0) = %v, want 1", v)
+	}
+	if v := s.NoiseFactor(-1); v != 1 {
+		t.Fatalf("NoiseFactor(-1) = %v, want 1", v)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(31)
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Norm mean %.3f, want ~3", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Norm stddev %.3f, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(37)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(4)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.15 {
+		t.Fatalf("Exp mean %.3f, want ~4", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(43)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}

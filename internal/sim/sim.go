@@ -1,0 +1,259 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All NoStop experiments run in virtual time: a Clock owns a priority queue
+// of timestamped events and advances by executing the earliest event. Events
+// scheduled for the same instant execute in FIFO order of scheduling, which
+// makes runs fully deterministic for a fixed seed and schedule.
+//
+// The kernel is intentionally single-threaded: streaming-system dynamics
+// (queueing, scheduling delay, reconfiguration) are modelled as events, not
+// as goroutines, so that a multi-hour cluster experiment replays in
+// milliseconds and every run is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual instant, measured as an offset from the simulation epoch.
+type Time = time.Duration
+
+// Infinity is a horizon later than any practical simulation instant.
+const Infinity Time = math.MaxInt64
+
+// Event is a scheduled callback. Handlers run with the clock set to the
+// event's due time.
+type Event struct {
+	due      Time
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// Due reports the virtual time at which the event fires.
+func (e *Event) Due() Time { return e.due }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a min-heap ordered by (due, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is the discrete-event scheduler. The zero value is not usable; use
+// NewClock.
+type Clock struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// executed counts events that have fired, for diagnostics and tests.
+	executed uint64
+}
+
+// NewClock returns a clock at virtual time zero with an empty event queue.
+func NewClock() *Clock {
+	c := &Clock{}
+	heap.Init(&c.queue)
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending returns the number of queued (not yet fired, not canceled) events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events that have fired so far.
+func (c *Clock) Executed() uint64 { return c.executed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a modelling bug, and silently reordering events would
+// corrupt causality.
+func (c *Clock) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil handler")
+	}
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
+	}
+	e := &Event{due: t, seq: c.seq, fn: fn, index: -1}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time. Negative d
+// panics via At.
+func (c *Clock) After(d time.Duration, fn func()) *Event {
+	return c.At(c.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&c.queue, e.index)
+}
+
+// Stop makes the currently running Run/RunUntil return after the in-flight
+// event handler completes. Pending events stay queued.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.due
+		c.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event is due strictly after horizon. The clock is left
+// at min(horizon, time of last executed event); if the queue drains early the
+// clock advances to the horizon so periodic models can resume cleanly.
+func (c *Clock) RunUntil(horizon Time) {
+	c.stopped = false
+	for !c.stopped {
+		if c.queue.Len() == 0 {
+			break
+		}
+		next := c.peek()
+		if next.due > horizon {
+			break
+		}
+		c.Step()
+	}
+	if c.now < horizon && !c.stopped {
+		c.now = horizon
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (c *Clock) Run() {
+	c.stopped = false
+	for !c.stopped && c.Step() {
+	}
+}
+
+func (c *Clock) peek() *Event {
+	// Skip leading canceled events without firing anything.
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&c.queue)
+	}
+	return nil
+}
+
+// Ticker repeatedly schedules a handler at a fixed period until stopped.
+type Ticker struct {
+	clock  *Clock
+	period time.Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period from
+// now. period must be positive.
+func (c *Clock) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.clock.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.schedule()
+		}
+	})
+}
+
+// Reset changes the ticker period; the next firing is one new period from
+// the current time.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.clock.Cancel(t.ev)
+	t.period = period
+	if !t.stop {
+		t.schedule()
+	}
+}
+
+// Period returns the current period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.clock.Cancel(t.ev)
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nostop/internal/broker"
+	"nostop/internal/rng"
+)
+
+// logRegDim is the feature dimensionality of the synthetic classification
+// stream.
+const logRegDim = 8
+
+// hidden separating hyperplane used by the record generator; the streaming
+// model should recover it.
+var logRegTruth = [logRegDim]float64{1.2, -0.8, 0.5, 2.0, -1.5, 0.3, -0.6, 0.9}
+
+// LogisticRegression is the paper's Streaming Logistic Regression workload:
+// an iterative ML job that fits a binary classifier with SGD on every batch.
+// Iterative processing makes its batch times the most variable of the four
+// workloads (§6.3).
+type LogisticRegression struct {
+	model   *CostModel
+	weights [logRegDim]float64
+	bias    float64
+	lr      float64
+	epochs  int
+}
+
+// NewLogisticRegression returns a fresh workload with an untrained model.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{
+		model: &CostModel{
+			Name:            "LogisticRegression",
+			RecordCost:      0.0004,
+			InitBase:        0.5,
+			PerExecOverhead: 0.21,
+			IOWeight:        0.1,
+			NoiseCV:         0.10,
+			IterInitial:     2.0,
+			IterTau:         30,
+			IterJitter:      0.15,
+		},
+		lr:     0.05,
+		epochs: 2,
+	}
+}
+
+// Name implements Workload.
+func (w *LogisticRegression) Name() string { return "LogisticRegression" }
+
+// Model implements Workload.
+func (w *LogisticRegression) Model() *CostModel { return w.model }
+
+// RateBand implements Workload (§6.2.2: [7000, 13000] records/second).
+func (w *LogisticRegression) RateBand() (float64, float64) { return 7000, 13000 }
+
+// GenValue synthesises "label,f1,...,f8": features are standard normal and
+// the label follows the hidden hyperplane with 5% label noise.
+func (w *LogisticRegression) GenValue(i int64, r *rng.Stream) string {
+	var sb strings.Builder
+	var score float64
+	feats := make([]float64, logRegDim)
+	for d := 0; d < logRegDim; d++ {
+		feats[d] = r.Norm(0, 1)
+		score += feats[d] * logRegTruth[d]
+	}
+	label := 0
+	if score > 0 {
+		label = 1
+	}
+	if r.Float64() < 0.05 { // label noise
+		label = 1 - label
+	}
+	sb.WriteString(strconv.Itoa(label))
+	for d := 0; d < logRegDim; d++ {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatFloat(feats[d], 'f', 4, 64))
+	}
+	return sb.String()
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// ProcessBatch parses labelled points and runs SGD epochs over them,
+// updating the persistent model. The result reports log-loss and accuracy
+// on the batch (evaluated before the update, i.e. progressive validation).
+func (w *LogisticRegression) ProcessBatch(recs []broker.Record) Result {
+	var parsed [][logRegDim + 1]float64 // label + features
+	for _, rec := range recs {
+		fields := strings.Split(rec.Value, ",")
+		if len(fields) != logRegDim+1 {
+			continue
+		}
+		var row [logRegDim + 1]float64
+		ok := true
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if ok {
+			parsed = append(parsed, row)
+		}
+	}
+	if len(parsed) == 0 {
+		return Result{Note: "logreg: empty batch"}
+	}
+	// Progressive validation with the pre-update model.
+	correct := 0
+	loss := 0.0
+	for _, row := range parsed {
+		p := w.predict(row)
+		y := row[0]
+		if (p >= 0.5) == (y >= 0.5) {
+			correct++
+		}
+		const eps = 1e-12
+		loss += -(y*math.Log(p+eps) + (1-y)*math.Log(1-p+eps))
+	}
+	// SGD update.
+	for e := 0; e < w.epochs; e++ {
+		for _, row := range parsed {
+			p := w.predict(row)
+			g := p - row[0]
+			for d := 0; d < logRegDim; d++ {
+				w.weights[d] -= w.lr * g * row[d+1]
+			}
+			w.bias -= w.lr * g
+		}
+	}
+	acc := float64(correct) / float64(len(parsed))
+	return Result{
+		Records: len(parsed),
+		Output: map[string]float64{
+			"accuracy": acc,
+			"logloss":  loss / float64(len(parsed)),
+		},
+		Note: fmt.Sprintf("logreg: %d points, acc %.3f", len(parsed), acc),
+	}
+}
+
+func (w *LogisticRegression) predict(row [logRegDim + 1]float64) float64 {
+	z := w.bias
+	for d := 0; d < logRegDim; d++ {
+		z += w.weights[d] * row[d+1]
+	}
+	return sigmoid(z)
+}
+
+// Weights returns a copy of the current model weights (for tests).
+func (w *LogisticRegression) Weights() []float64 {
+	out := make([]float64, logRegDim)
+	copy(out, w.weights[:])
+	return out
+}

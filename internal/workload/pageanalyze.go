@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nostop/internal/broker"
+	"nostop/internal/rng"
+)
+
+// paPaths are the site paths the synthetic Nginx access log draws from.
+var paPaths = []string{
+	"/", "/index.html", "/cart", "/checkout", "/login", "/logout",
+	"/api/items", "/api/items/42", "/api/search", "/static/app.js",
+	"/static/site.css", "/img/banner.png", "/profile", "/orders", "/help",
+}
+
+// paAgents are user-agent strings for the generator.
+var paAgents = []string{
+	"Mozilla/5.0 (X11; Linux x86_64)",
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7)",
+	"curl/7.68.0",
+	"Googlebot/2.1 (+http://www.google.com/bot.html)",
+}
+
+var paMethods = []string{"GET", "GET", "GET", "GET", "POST", "PUT"}
+
+// PageAnalyze is the paper's Log/Page Analyze workload: it receives Nginx
+// access-log lines from the broker, washes and parses them, and computes
+// traffic analytics (status mix, bytes, error rate, top paths) whose results
+// would be written back to HDFS in the original system. The heavy output
+// path gives it the largest IOWeight of the four workloads.
+type PageAnalyze struct {
+	model     *CostModel
+	pathHits  map[string]int64
+	statusTot map[int]int64
+}
+
+// NewPageAnalyze returns a fresh workload.
+func NewPageAnalyze() *PageAnalyze {
+	return &PageAnalyze{
+		model: &CostModel{
+			Name:            "PageAnalyze",
+			RecordCost:      0.000025,
+			InitBase:        0.6,
+			PerExecOverhead: 0.15,
+			IOWeight:        0.6,
+			NoiseCV:         0.06,
+			IterInitial:     1,
+		},
+		pathHits:  make(map[string]int64),
+		statusTot: make(map[int]int64),
+	}
+}
+
+// Name implements Workload.
+func (w *PageAnalyze) Name() string { return "PageAnalyze" }
+
+// Model implements Workload.
+func (w *PageAnalyze) Model() *CostModel { return w.model }
+
+// RateBand implements Workload (§6.2.2: [170000, 230000] records/second).
+func (w *PageAnalyze) RateBand() (float64, float64) { return 170000, 230000 }
+
+// GenValue synthesises one Nginx "combined" log line.
+func (w *PageAnalyze) GenValue(i int64, r *rng.Stream) string {
+	ip := fmt.Sprintf("10.%d.%d.%d", r.Intn(256), r.Intn(256), 1+r.Intn(254))
+	method := paMethods[r.Intn(len(paMethods))]
+	path := paPaths[zipfIndex(r, len(paPaths))]
+	status := 200
+	switch roll := r.Float64(); {
+	case roll < 0.02:
+		status = 500
+	case roll < 0.07:
+		status = 404
+	case roll < 0.10:
+		status = 302
+	}
+	bytes := 200 + r.Intn(40000)
+	agent := paAgents[r.Intn(len(paAgents))]
+	return fmt.Sprintf(`%s - - [04/Jul/2026:12:%02d:%02d +0000] "%s %s HTTP/1.1" %d %d "-" "%s"`,
+		ip, r.Intn(60), r.Intn(60), method, path, status, bytes, agent)
+}
+
+// logEntry is one parsed access-log line.
+type logEntry struct {
+	ip     string
+	method string
+	path   string
+	status int
+	bytes  int64
+}
+
+// parseLogLine parses an Nginx combined log line; ok is false for garbage
+// lines (the "washing" step).
+func parseLogLine(line string) (logEntry, bool) {
+	var e logEntry
+	// IP is the first field.
+	sp := strings.IndexByte(line, ' ')
+	if sp <= 0 {
+		return e, false
+	}
+	e.ip = line[:sp]
+	// Request is the first quoted section: "METHOD path HTTP/x.y".
+	q1 := strings.IndexByte(line, '"')
+	if q1 < 0 {
+		return e, false
+	}
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return e, false
+	}
+	req := line[q1+1 : q1+1+q2]
+	parts := strings.Fields(req)
+	if len(parts) < 2 {
+		return e, false
+	}
+	e.method, e.path = parts[0], parts[1]
+	// Status and bytes follow the closing quote.
+	rest := strings.Fields(line[q1+q2+2:])
+	if len(rest) < 2 {
+		return e, false
+	}
+	status, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return e, false
+	}
+	e.status = status
+	bytes, err := strconv.ParseInt(rest[1], 10, 64)
+	if err != nil {
+		return e, false
+	}
+	e.bytes = bytes
+	return e, true
+}
+
+// ProcessBatch washes and analyses log lines: per-status counts, byte
+// volume, error rate, and top-path tracking across batches.
+func (w *PageAnalyze) ProcessBatch(recs []broker.Record) Result {
+	var parsed, malformed int
+	var totalBytes int64
+	statuses := map[int]int{}
+	for _, rec := range recs {
+		e, ok := parseLogLine(rec.Value)
+		if !ok {
+			malformed++
+			continue
+		}
+		parsed++
+		totalBytes += e.bytes
+		statuses[e.status]++
+		w.pathHits[e.path]++
+		w.statusTot[e.status]++
+	}
+	if parsed == 0 {
+		return Result{Records: len(recs), Note: "pageanalyze: no parsable lines"}
+	}
+	errors := 0
+	for status, n := range statuses {
+		if status >= 500 {
+			errors += n
+		}
+	}
+	errRate := float64(errors) / float64(parsed)
+	return Result{
+		Records: len(recs),
+		Output: map[string]float64{
+			"parsed":     float64(parsed),
+			"malformed":  float64(malformed),
+			"bytes":      float64(totalBytes),
+			"error_rate": errRate,
+			"avg_bytes":  float64(totalBytes) / float64(parsed),
+		},
+		Note: fmt.Sprintf("pageanalyze: %d lines, %.2f%% 5xx, %.0fB avg",
+			parsed, 100*errRate, float64(totalBytes)/float64(parsed)),
+	}
+}
+
+// PathHits returns the cumulative hit count of a path.
+func (w *PageAnalyze) PathHits(path string) int64 { return w.pathHits[path] }
+
+// StatusTotal returns the cumulative count of a status code.
+func (w *PageAnalyze) StatusTotal(code int) int64 { return w.statusTot[code] }
