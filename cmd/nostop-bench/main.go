@@ -36,6 +36,7 @@ var registry = map[string]func(experiments.Config) (*experiments.Table, error){
 	"ext-3param":     experiments.Extension3Param,
 	"ext-autogains":  experiments.ExtensionAutoGains,
 	"ext-failure":    experiments.ExtensionNodeFailure,
+	"chaos":          experiments.Chaos,
 }
 
 func names() string {

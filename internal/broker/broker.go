@@ -36,10 +36,20 @@ type Partition struct {
 	Broker *Broker
 
 	begin, end int64 // log spans offsets [begin, end)
+	down       bool  // outage: the partition leader is unreachable
 
 	samples    []Record // ring buffer of most recent concrete payloads
 	sampleHead int      // index of the oldest retained record once full
 }
+
+// SetDown marks the partition's leader unreachable (true) or restored
+// (false). While down the partition accepts produce requests — the simulated
+// outage models a consumer-side fetch failure, with the log itself durable —
+// but consumer groups cannot fetch from it.
+func (p *Partition) SetDown(down bool) { p.down = down }
+
+// Down reports whether the partition is currently in outage.
+func (p *Partition) Down() bool { return p.down }
 
 // Begin returns the first retained offset (0 in this in-memory model).
 func (p *Partition) Begin() int64 { return p.begin }
@@ -212,12 +222,28 @@ func (p *Producer) SendCount(n int64) {
 	p.next = int((int64(p.next) + rem) % parts)
 }
 
-// ConsumerGroup consumes a topic with committed offsets per partition.
+// OffsetRange identifies a consumed span [From, To) of one partition — the
+// unit of commit and replay, mirroring Spark's direct-stream OffsetRange.
+type OffsetRange struct {
+	Partition int
+	From, To  int64
+}
+
+// ConsumerGroup consumes a topic with two offsets per partition, matching
+// Kafka consumer semantics under at-least-once processing:
+//
+//   - position: the next offset a fetch will read. Fetch advances it.
+//   - committed: the highest offset whose records were durably processed.
+//     Commit advances it; a failure rewinds position back to it, and the
+//     records in between are fetched again (redelivered, never lost).
+//
 // A single logical consumer (the streaming receiver) owns all partitions,
 // matching Spark's Kafka direct stream, which tracks offset ranges itself.
 type ConsumerGroup struct {
-	topic     *Topic
-	committed []int64
+	topic       *Topic
+	position    []int64
+	committed   []int64
+	redelivered int64
 }
 
 // NewConsumerGroup returns a group positioned at each partition's current
@@ -227,15 +253,31 @@ func (b *Bus) NewConsumerGroup(topic string) (*ConsumerGroup, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &ConsumerGroup{topic: t, committed: make([]int64, len(t.Partitions))}
+	g := &ConsumerGroup{
+		topic:     t,
+		position:  make([]int64, len(t.Partitions)),
+		committed: make([]int64, len(t.Partitions)),
+	}
 	for i, p := range t.Partitions {
+		g.position[i] = p.Begin()
 		g.committed[i] = p.Begin()
 	}
 	return g, nil
 }
 
-// Lag returns the total unconsumed records across partitions.
+// Lag returns the total unfetched records across partitions (relative to the
+// consumer position, like Kafka's consumer lag).
 func (g *ConsumerGroup) Lag() int64 {
+	var lag int64
+	for i, p := range g.topic.Partitions {
+		lag += p.End() - g.position[i]
+	}
+	return lag
+}
+
+// CommittedLag returns records not yet durably processed — everything past
+// the committed offsets, including fetched-but-uncommitted spans.
+func (g *ConsumerGroup) CommittedLag() int64 {
 	var lag int64
 	for i, p := range g.topic.Partitions {
 		lag += p.End() - g.committed[i]
@@ -246,26 +288,56 @@ func (g *ConsumerGroup) Lag() int64 {
 // Committed returns the committed offset of a partition.
 func (g *ConsumerGroup) Committed(partition int) int64 { return g.committed[partition] }
 
-// Poll consumes up to max records across all partitions (max <= 0 means all
-// available), advancing committed offsets. It returns the consumed count and
-// any retained concrete payloads that fell inside the consumed ranges.
-func (g *ConsumerGroup) Poll(max int64) (int64, []Record) {
-	avail := g.Lag()
+// Position returns the fetch position of a partition.
+func (g *ConsumerGroup) Position(partition int) int64 { return g.position[partition] }
+
+// Redelivered returns the total records re-fetched after a rewind — the
+// at-least-once duplicate count.
+func (g *ConsumerGroup) Redelivered() int64 { return g.redelivered }
+
+// FullyCommitted reports whether every produced record has been committed:
+// the "zero records lost" invariant once a run has drained.
+func (g *ConsumerGroup) FullyCommitted() bool {
+	for i, p := range g.topic.Partitions {
+		if g.committed[i] < p.End() {
+			return false
+		}
+	}
+	return true
+}
+
+// Fetch consumes up to max records across all live partitions (max <= 0
+// means all available), advancing positions but not committed offsets. It
+// returns the consumed count, any retained concrete payloads inside the
+// consumed spans, and the offset ranges read — the caller commits the ranges
+// once processing succeeds. Partitions in outage are skipped; their backlog
+// stays fetchable after restoration.
+func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
+	var avail int64
+	for i, p := range g.topic.Partitions {
+		if !p.down {
+			avail += p.End() - g.position[i]
+		}
+	}
 	want := avail
 	if max > 0 && max < want {
 		want = max
 	}
 	if want == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	var consumed int64
 	var payloads []Record
+	var ranges []OffsetRange
 	// Consume proportionally round-robin across partitions.
 	for i, p := range g.topic.Partitions {
 		if consumed >= want {
 			break
 		}
-		lag := p.End() - g.committed[i]
+		if p.down {
+			continue
+		}
+		lag := p.End() - g.position[i]
 		if lag == 0 {
 			continue
 		}
@@ -273,14 +345,55 @@ func (g *ConsumerGroup) Poll(max int64) (int64, []Record) {
 		if remaining := want - consumed; take > remaining {
 			take = remaining
 		}
-		from, to := g.committed[i], g.committed[i]+take
+		from, to := g.position[i], g.position[i]+take
 		for _, rec := range p.SampleTail(0) {
 			if rec.Offset >= from && rec.Offset < to {
 				payloads = append(payloads, rec)
 			}
 		}
-		g.committed[i] = to
+		ranges = append(ranges, OffsetRange{Partition: i, From: from, To: to})
+		g.position[i] = to
 		consumed += take
 	}
-	return consumed, payloads
+	return consumed, payloads, ranges
+}
+
+// Commit durably acknowledges processed ranges, advancing committed offsets.
+// Ranges may arrive out of order (a retried batch can finish after a later
+// one); committed only moves forward.
+func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
+	for _, r := range ranges {
+		if r.Partition < 0 || r.Partition >= len(g.committed) {
+			continue
+		}
+		if r.To > g.committed[r.Partition] {
+			g.committed[r.Partition] = r.To
+		}
+	}
+}
+
+// Rewind resets one partition's fetch position back to its committed offset
+// — the consumer's reaction to a partition outage killing its in-flight
+// fetch session. The span between the two offsets will be fetched again; it
+// is added to the redelivery counter and returned.
+func (g *ConsumerGroup) Rewind(partition int) int64 {
+	if partition < 0 || partition >= len(g.position) {
+		return 0
+	}
+	delta := g.position[partition] - g.committed[partition]
+	if delta <= 0 {
+		return 0
+	}
+	g.position[partition] = g.committed[partition]
+	g.redelivered += delta
+	return delta
+}
+
+// Poll consumes up to max records like Fetch but commits the ranges
+// immediately (auto-commit) — the pre-resilience consumption path, kept for
+// callers that do not participate in replay.
+func (g *ConsumerGroup) Poll(max int64) (int64, []Record) {
+	n, payloads, ranges := g.Fetch(max)
+	g.Commit(ranges)
+	return n, payloads
 }

@@ -121,6 +121,14 @@ type Options struct {
 	// reconfiguration-inflated batches contaminate measurements
 	// (ablation).
 	IncludeReconfigBatches bool
+	// IncludeFaultBatches disables failure-aware admission so batches cut
+	// or completed under an injected fault enter SPSA measurements
+	// (ablation — the naive controller chasing fault-inflated gradients).
+	// By default such batches are excluded the same way §5.4 excludes
+	// reconfiguration-inflated ones, and the first clean batch after a
+	// fault window triggers a re-calibration: measurement accumulators
+	// reset so pre-fault samples never mix with post-recovery ones.
+	IncludeFaultBatches bool
 	// RawScale disables the §5.1 min-max normalisation: each parameter
 	// is optimized in its own physical range (interval in seconds
 	// [1,40], executors [1,20]) instead of the shared [1,20] range
@@ -243,6 +251,13 @@ type Controller struct {
 	// flagged batch indefinitely — system status is meaningful either way.
 	awaitFlag bool
 	waited    int
+
+	// Failure-aware admission state: inFault latches while flagged batches
+	// stream past, so the first clean batch after recovery can trigger a
+	// re-calibration exactly once per fault episode.
+	inFault        bool
+	faultBatches   int
+	recalibrations int
 
 	sinceRestart int      // iterations since the last reset/resume (budget rule)
 	restartAt    sim.Time // when the current search leg began (time budget)
@@ -587,6 +602,32 @@ func (c *Controller) advance(y float64) {
 
 // onBatch is the engine listener driving the state machine.
 func (c *Controller) onBatch(bs engine.BatchStats) {
+	// Failure-aware admission: batches cut or completed under an injected
+	// fault never enter measurements — a fault-inflated gradient would
+	// steer SPSA toward configurations tuned for a transient failure
+	// (§5.4's exclusion logic extended to fault windows). The §5.5
+	// rate-change check is skipped for them too, so an ingest-spike fault
+	// cannot masquerade as a genuine workload shift and trigger a full
+	// reset.
+	if !c.opts.IncludeFaultBatches {
+		if bs.FaultActive {
+			c.inFault = true
+			c.faultBatches++
+			return
+		}
+		if c.inFault {
+			// First clean batch after recovery: re-calibrate. Whatever
+			// was accumulated straddles the fault window — drop it so the
+			// current probe (or pause-monitor check) is judged on
+			// post-recovery batches only.
+			c.inFault = false
+			c.recalibrations++
+			c.procAcc = c.procAcc[:0]
+			c.totalAcc = c.totalAcc[:0]
+			c.e2eAcc = c.e2eAcc[:0]
+			c.calibAcc = c.calibAcc[:0]
+		}
+	}
 	if c.calibrating {
 		// No optimizer exists yet; rate-change resets are meaningless
 		// until the first gains are derived.
@@ -980,3 +1021,11 @@ func (c *Controller) MeasureWindow() int { return c.measureN }
 
 // Drains returns how many emergency queue-drain episodes occurred.
 func (c *Controller) Drains() int { return c.drains }
+
+// FaultBatches returns how many completed batches were excluded from
+// measurement because they overlapped an injected fault window.
+func (c *Controller) FaultBatches() int { return c.faultBatches }
+
+// Recalibrations returns how many post-recovery re-calibrations occurred
+// (one per fault episode: the first clean batch resets the accumulators).
+func (c *Controller) Recalibrations() int { return c.recalibrations }

@@ -22,6 +22,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"log"
 	"time"
 
 	"nostop/internal/broker"
@@ -129,6 +130,17 @@ type BatchStats struct {
 	// change; §5.4 excludes it from measurements because reconfiguration
 	// inflates it (jar shipping, executor registration).
 	FirstAfterReconfig bool
+	// FaultActive marks a batch that was cut or completed while a fault
+	// was in effect (node down, straggler, task-failure window, partition
+	// outage, ingest spike). Extending the §5.4 exclusion, the controller
+	// keeps such batches out of SPSA probe measurements so the optimizer
+	// never learns from failure noise.
+	FaultActive bool
+	// Attempts is how many executions the batch took; 1 means no retry.
+	Attempts int
+	// Speculated reports that straggler mitigation re-ran slow tasks on
+	// healthy executors.
+	Speculated bool
 	// QueueLen is the batch-queue length right after this batch finished.
 	QueueLen int
 	// Semantic is the workload's output when payload records were attached.
@@ -185,6 +197,34 @@ type Options struct {
 	// IngestCap, if positive, limits the accepted input rate
 	// (records/second); the back-pressure baseline drives this knob.
 	IngestCap float64
+
+	// TaskMaxFailures is the per-batch attempt budget under injected task
+	// failures (Spark's spark.task.maxFailures): a batch whose attempts
+	// all fail counts as a failed batch and triggers load shedding. 0
+	// means 4.
+	TaskMaxFailures int
+	// RetryBackoff is the delay before re-executing a failed batch; it
+	// doubles per attempt, capped at RetryBackoffMax. Zeros mean 2s and
+	// 30s.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// SpeculativeMultiplier gates speculative re-execution: when
+	// straggler slowdown stretches a batch's estimated runtime beyond
+	// this multiple of the healthy estimate, the engine re-runs the slow
+	// tasks on healthy executors (Spark's spark.speculation). 0 means
+	// 1.5; negative disables speculation.
+	SpeculativeMultiplier float64
+	// SpeculativeOverhead is the relative cost a speculative re-run adds
+	// to the healthy runtime estimate (duplicate task launch, extra
+	// shuffle reads). 0 means 0.25.
+	SpeculativeOverhead float64
+	// ShedFactor scales emergency load shedding: on retry-budget
+	// exhaustion the accepted ingest rate is capped at ShedFactor times
+	// the recent mean arrival rate for ShedDuration. 0 means 0.8;
+	// negative disables shedding.
+	ShedFactor float64
+	// ShedDuration is how long an emergency shed cap holds. 0 means 60s.
+	ShedDuration time.Duration
 }
 
 // DefaultConfig is the untuned starting configuration used as the Fig 7
@@ -232,15 +272,36 @@ type Engine struct {
 
 	totalRecords int64
 	droppedByCap int64
+
+	// Fault state, driven by the faults injector (or tests) through the
+	// Set* methods below.
+	faultRng    *rng.Stream
+	faultActive bool
+	taskFail    float64         // per-attempt transient failure probability
+	slowNodes   map[int]float64 // node ID -> slowdown factor (>1 = slower)
+	ingestBoost float64         // arrival-rate multiplier (spike injection)
+	shedRate    float64         // emergency ingest cap from load shedding
+	shedUntil   sim.Time
+
+	taskRetries    int
+	speculations   int
+	failedBatches  int64
+	failedRecords  int64
+	shedEvents     int
+	listenerPanics int
 }
 
 type batch struct {
-	id       int64
-	records  int64
-	payloads []broker.Record
-	cutAt    sim.Time
-	cfg      Config
-	first    bool
+	id         int64
+	records    int64
+	payloads   []broker.Record
+	ranges     []broker.OffsetRange
+	cutAt      sim.Time
+	cfg        Config
+	first      bool
+	faulty     bool
+	attempts   int
+	speculated bool
 }
 
 // Common errors.
@@ -295,6 +356,27 @@ func New(clock *sim.Clock, opts Options) (*Engine, error) {
 	if opts.RateWindow == 0 {
 		opts.RateWindow = 60 * time.Second
 	}
+	if opts.TaskMaxFailures == 0 {
+		opts.TaskMaxFailures = 4
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 2 * time.Second
+	}
+	if opts.RetryBackoffMax == 0 {
+		opts.RetryBackoffMax = 30 * time.Second
+	}
+	if opts.SpeculativeMultiplier == 0 {
+		opts.SpeculativeMultiplier = 1.5
+	}
+	if opts.SpeculativeOverhead == 0 {
+		opts.SpeculativeOverhead = 0.25
+	}
+	if opts.ShedFactor == 0 {
+		opts.ShedFactor = 0.8
+	}
+	if opts.ShedDuration == 0 {
+		opts.ShedDuration = 60 * time.Second
+	}
 	if !opts.Bounds.Contains(opts.Initial) {
 		return nil, fmt.Errorf("%w: initial %v", ErrOutOfBounds, opts.Initial)
 	}
@@ -332,21 +414,24 @@ func New(clock *sim.Clock, opts Options) (*Engine, error) {
 		windowTicks = 2
 	}
 	e := &Engine{
-		clock:      clock,
-		opts:       opts,
-		wl:         opts.Workload,
-		cl:         opts.Cluster,
-		bus:        bus,
-		topic:      topic,
-		prod:       prod,
-		group:      group,
-		noise:      opts.Seed.Split("engine-noise"),
-		payload:    opts.Seed.Split("engine-payload"),
-		cfg:        opts.Initial,
-		execs:      execs,
-		historyCap: 1 << 20,
-		rates:      stats.NewWindow(windowTicks),
-		ingestCap:  opts.IngestCap,
+		clock:       clock,
+		opts:        opts,
+		wl:          opts.Workload,
+		cl:          opts.Cluster,
+		bus:         bus,
+		topic:       topic,
+		prod:        prod,
+		group:       group,
+		noise:       opts.Seed.Split("engine-noise"),
+		payload:     opts.Seed.Split("engine-payload"),
+		faultRng:    opts.Seed.Split("engine-faults"),
+		slowNodes:   make(map[int]float64),
+		ingestBoost: 1,
+		cfg:         opts.Initial,
+		execs:       execs,
+		historyCap:  1 << 20,
+		rates:       stats.NewWindow(windowTicks),
+		ingestCap:   opts.IngestCap,
 	}
 	return e, nil
 }
@@ -377,14 +462,15 @@ func (e *Engine) producerTick() {
 		return
 	}
 	now := e.clock.Now()
-	n := ratetrace.RecordsIn(e.opts.Trace, e.lastTickAt, now) + e.fracCarry
+	arrivals := ratetrace.RecordsIn(e.opts.Trace, e.lastTickAt, now) * e.ingestBoost
+	n := arrivals + e.fracCarry
 	elapsed := (now - e.lastTickAt).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
-		rate = (n - e.fracCarry) / elapsed
+		rate = arrivals / elapsed
 	}
-	if e.ingestCap > 0 && elapsed > 0 {
-		allowed := e.ingestCap * elapsed
+	if cap := e.effectiveCap(now); cap > 0 && elapsed > 0 {
+		allowed := cap * elapsed
 		if n-e.fracCarry > allowed {
 			e.droppedByCap += int64(n - e.fracCarry - allowed)
 			n = allowed + e.fracCarry
@@ -409,20 +495,36 @@ func (e *Engine) producerTick() {
 	e.clock.After(e.opts.ProducerTick, e.producerTick)
 }
 
+// effectiveCap combines the configured/back-pressure ingest cap with any
+// live emergency shed cap (the tighter one wins while shedding is active).
+func (e *Engine) effectiveCap(now sim.Time) float64 {
+	cap := e.ingestCap
+	if e.shedRate > 0 && now < e.shedUntil {
+		if cap <= 0 || e.shedRate < cap {
+			cap = e.shedRate
+		}
+	}
+	return cap
+}
+
 // cutBatch drains the topic into a new batch, applies any pending config,
-// and schedules the next cut.
+// and schedules the next cut. Offsets are fetched uncommitted: the batch
+// commits its ranges only when it completes successfully, so an outage
+// replays anything in flight (at-least-once).
 func (e *Engine) cutBatch() {
 	if e.stopped {
 		return
 	}
-	n, payloads := e.group.Poll(0)
+	n, payloads, ranges := e.group.Fetch(0)
 	b := &batch{
 		id:       e.nextID,
 		records:  n,
 		payloads: payloads,
+		ranges:   ranges,
 		cutAt:    e.clock.Now(),
 		cfg:      e.cfg,
 		first:    e.markFirst,
+		faulty:   e.faultInEffect(),
 	}
 	e.markFirst = false
 	e.nextID++
@@ -463,12 +565,23 @@ func (e *Engine) trySchedule() {
 	e.queue = e.queue[1:]
 	e.busy = true
 	start := e.clock.Now()
+	e.runAttempt(b, start)
+}
 
+// runAttempt executes one processing attempt of a batch. Straggler slowdown
+// stretches the runtime unless speculation re-runs the slow tasks on healthy
+// executors; transient task failures re-execute the whole attempt after a
+// capped exponential backoff, and an exhausted budget fails the batch.
+func (e *Engine) runAttempt(b *batch, start sim.Time) {
 	execCount := len(e.execs)
-	par := cluster.Parallelism(e.execs, e.wl.Model().IOWeight)
-	if maxPar := float64(e.opts.Partitions); par > maxPar {
-		par = maxPar // task parallelism cannot exceed partition count
+	if execCount == 0 {
+		// The cluster died between scheduling and the retry: requeue and
+		// wait for capacity.
+		e.busy = false
+		e.queue = append([]*batch{b}, e.queue...)
+		return
 	}
+	rawPar := cluster.Parallelism(e.execs, e.wl.Model().IOWeight)
 	// Each receiver block becomes one task (Spark semantics): a coarse
 	// block interval caps parallelism below the executor count, a fine
 	// one multiplies driver dispatch overhead.
@@ -480,27 +593,143 @@ func (e *Engine) trySchedule() {
 	if tasks < 1 {
 		tasks = 1
 	}
-	if float64(tasks) < par {
-		par = float64(tasks)
+	capPar := func(p float64) float64 {
+		if maxPar := float64(e.opts.Partitions); p > maxPar {
+			p = maxPar // task parallelism cannot exceed partition count
+		}
+		if float64(tasks) < p {
+			p = float64(tasks)
+		}
+		return p
 	}
+	par := capPar(rawPar)
 	proc := e.wl.Model().ProcessingTime(b.records, execCount, par, e.noise)
+	if len(e.slowNodes) > 0 {
+		// Stragglers hurt twice: aggregate throughput drops with the
+		// degraded parallelism, and the batch cannot finish before the
+		// slowest hosted executor clears its final task wave. The healthy
+		// estimate is rescaled rather than re-sampled so the noise draw
+		// stays shared between the two outcomes.
+		stretch := 1.0
+		if degPar := capPar(e.degradedParallelism()); degPar > 0 && degPar < par {
+			stretch = par / degPar
+		}
+		if tail := e.hostedMaxSlowdown(); tail > stretch {
+			stretch = tail
+		}
+		if stretch > 1 {
+			degraded := time.Duration(float64(proc) * stretch)
+			if e.opts.SpeculativeMultiplier > 0 &&
+				degraded > time.Duration(float64(proc)*e.opts.SpeculativeMultiplier) {
+				proc = time.Duration(float64(proc) * (1 + e.opts.SpeculativeOverhead))
+				b.speculated = true
+				e.speculations++
+			} else {
+				proc = degraded
+			}
+		}
+	}
 	proc += time.Duration(tasks) * e.opts.TaskDispatchCost
 	if e.setupOwed {
 		proc += e.opts.ReconfigSetup
 		e.setupOwed = false
 	}
-	e.clock.After(proc, func() { e.completeBatch(b, start, proc) })
+	e.clock.After(proc, func() { e.finishAttempt(b, start, proc) })
 }
 
-// completeBatch finalises stats, runs semantic processing, and notifies
-// listeners.
+// degradedParallelism is cluster.Parallelism with straggler slowdown factors
+// applied per host node.
+func (e *Engine) degradedParallelism() float64 {
+	io := e.wl.Model().IOWeight
+	if io < 0 {
+		io = 0
+	}
+	if io > 1 {
+		io = 1
+	}
+	p := 0.0
+	for _, ex := range e.execs {
+		f := ex.Node.SpeedFactor * ((1 - io) + io*ex.Node.DiskFactor)
+		if s, ok := e.slowNodes[ex.Node.ID]; ok && s > 1 {
+			f /= s
+		}
+		p += f
+	}
+	return p
+}
+
+// hostedMaxSlowdown returns the worst straggler factor among nodes that
+// actually host executors — the tail-latency multiplier of the final task
+// wave when no speculation rescues it.
+func (e *Engine) hostedMaxSlowdown() float64 {
+	worst := 1.0
+	for _, ex := range e.execs {
+		if s, ok := e.slowNodes[ex.Node.ID]; ok && s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// finishAttempt resolves one attempt: transient failure → backoff and
+// requeue at the head; budget exhausted → failed batch plus load shedding;
+// otherwise the batch completes.
+func (e *Engine) finishAttempt(b *batch, start sim.Time, proc time.Duration) {
+	b.attempts++
+	if e.taskFail > 0 && e.faultRng.Float64() < e.taskFail {
+		if b.attempts >= e.opts.TaskMaxFailures {
+			e.failBatch(b)
+			return
+		}
+		e.taskRetries++
+		backoff := e.opts.RetryBackoff << (b.attempts - 1)
+		if backoff > e.opts.RetryBackoffMax {
+			backoff = e.opts.RetryBackoffMax
+		}
+		// The job releases the scheduler during the backoff; the batch
+		// requeues at the head so it is retried before younger batches.
+		e.busy = false
+		e.trySchedule()
+		e.clock.After(backoff, func() {
+			e.queue = append([]*batch{b}, e.queue...)
+			e.trySchedule()
+		})
+		return
+	}
+	e.completeBatch(b, start, proc)
+}
+
+// failBatch gives up on a batch whose retry budget is exhausted: its records
+// count as failed (their offsets stay uncommitted, so the loss is visible in
+// CommittedLag) and the engine sheds load through the ingest cap to protect
+// itself while the fault persists.
+func (e *Engine) failBatch(b *batch) {
+	e.failedBatches++
+	e.failedRecords += b.records
+	e.busy = false
+	if e.opts.ShedFactor >= 0 {
+		if mean := e.rates.Mean(); mean > 0 {
+			e.shedRate = e.opts.ShedFactor * mean
+			e.shedUntil = e.clock.Now() + sim.Time(e.opts.ShedDuration)
+			e.shedEvents++
+		}
+	}
+	e.trySchedule()
+}
+
+// completeBatch finalises stats, commits the batch's offset ranges, runs
+// semantic processing, and notifies listeners.
 func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 	e.busy = false
+	e.group.Commit(b.ranges)
 	e.wl.Model().NoteBatch()
 	var result workload.Result
 	if len(b.payloads) > 0 {
 		result = e.wl.ProcessBatch(b.payloads)
 	}
+	// start is the successful attempt's dispatch time, so failed attempts
+	// and their backoffs surface as scheduling delay while ProcessingTime
+	// stays the successful attempt's runtime.
 	sched := time.Duration(start - b.cutAt)
 	bs := BatchStats{
 		ID:                 b.id,
@@ -513,6 +742,9 @@ func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 		ProcessingTime:     proc,
 		EndToEndDelay:      b.cfg.BatchInterval/2 + sched + proc,
 		FirstAfterReconfig: b.first,
+		FaultActive:        b.faulty || e.faultInEffect(),
+		Attempts:           b.attempts,
+		Speculated:         b.speculated,
 		QueueLen:           len(e.queue),
 		Semantic:           result,
 	}
@@ -520,9 +752,21 @@ func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 		e.history = append(e.history, bs)
 	}
 	for _, l := range e.listeners {
-		l.OnBatchComplete(bs)
+		e.notify(l, bs)
 	}
 	e.trySchedule()
+}
+
+// notify delivers one listener callback, isolating panics: a misbehaving
+// listener cannot kill the simulation run.
+func (e *Engine) notify(l Listener, bs BatchStats) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.listenerPanics++
+			log.Printf("engine: listener panic on batch %d (isolated): %v", bs.ID, r)
+		}
+	}()
+	l.OnBatchComplete(bs)
 }
 
 // Reconfigure requests a configuration change; it takes effect at the next
@@ -563,6 +807,100 @@ func (e *Engine) RestoreNode(nodeID int) error {
 	e.reallocate()
 	return nil
 }
+
+// FailPartition takes a topic partition's leader offline: the receiver
+// cannot fetch from it, its in-flight (uncommitted) fetch session is lost,
+// and the consumer rewinds to the committed offset so the span is
+// redelivered after restoration — at-least-once, never lost.
+func (e *Engine) FailPartition(partition int) error {
+	if partition < 0 || partition >= len(e.topic.Partitions) {
+		return fmt.Errorf("engine: unknown partition %d", partition)
+	}
+	e.topic.Partitions[partition].SetDown(true)
+	e.group.Rewind(partition)
+	return nil
+}
+
+// RestorePartition brings a partition's leader back; the backlog accumulated
+// during the outage (including the rewound span) becomes fetchable again.
+func (e *Engine) RestorePartition(partition int) error {
+	if partition < 0 || partition >= len(e.topic.Partitions) {
+		return fmt.Errorf("engine: unknown partition %d", partition)
+	}
+	e.topic.Partitions[partition].SetDown(false)
+	return nil
+}
+
+// SetNodeSlowdown marks a node's executors as stragglers running factor
+// times slower (factor <= 1 clears the straggler). Unknown nodes error.
+func (e *Engine) SetNodeSlowdown(nodeID int, factor float64) error {
+	found := false
+	for _, n := range e.cl.Nodes() {
+		if n.ID == nodeID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("engine: unknown node %d", nodeID)
+	}
+	if factor <= 1 {
+		delete(e.slowNodes, nodeID)
+		return nil
+	}
+	e.slowNodes[nodeID] = factor
+	return nil
+}
+
+// SetTaskFailureRate sets the per-attempt probability that a batch suffers a
+// transient task-failure wave requiring re-execution. Values are clamped to
+// [0, 1]; 0 disables injection.
+func (e *Engine) SetTaskFailureRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	e.taskFail = p
+}
+
+// SetIngestBoost multiplies trace arrivals by factor — the fault injector's
+// ingest-spike lever. factor <= 0 resets to 1.
+func (e *Engine) SetIngestBoost(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	e.ingestBoost = factor
+}
+
+// SetFaultActive force-marks the fault window open or closed; the fault
+// injector brackets every fault's lifetime with it so batches overlapping
+// any fault carry BatchStats.FaultActive.
+func (e *Engine) SetFaultActive(active bool) { e.faultActive = active }
+
+// faultInEffect reports whether any fault is currently live: the injector's
+// explicit window, a task-failure or straggler injection, an ingest boost, a
+// failed node, or a downed partition.
+func (e *Engine) faultInEffect() bool {
+	if e.faultActive || e.taskFail > 0 || len(e.slowNodes) > 0 || e.ingestBoost != 1 {
+		return true
+	}
+	for _, n := range e.cl.Nodes() {
+		if e.cl.Failed(n.ID) {
+			return true
+		}
+	}
+	for _, p := range e.topic.Partitions {
+		if p.Down() {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultInEffect exposes the live fault check for controllers and reports.
+func (e *Engine) FaultInEffect() bool { return e.faultInEffect() }
 
 // reallocate rebuilds the executor set after a capacity change, capped by
 // what the live cluster can host. With zero capacity the engine holds no
@@ -612,6 +950,41 @@ func (e *Engine) TotalRecords() int64 { return e.totalRecords }
 
 // DroppedByCap returns records rejected by the ingest cap (back-pressure).
 func (e *Engine) DroppedByCap() int64 { return e.droppedByCap }
+
+// TaskRetries returns how many transient task-failure retries were executed.
+func (e *Engine) TaskRetries() int { return e.taskRetries }
+
+// Speculations returns how many batches were speculatively re-executed to
+// dodge stragglers.
+func (e *Engine) Speculations() int { return e.speculations }
+
+// FailedBatches returns batches whose retry budget was exhausted.
+func (e *Engine) FailedBatches() int64 { return e.failedBatches }
+
+// FailedRecords returns records inside permanently-failed batches — the only
+// processing-loss channel, kept at zero by the chaos acceptance criterion.
+func (e *Engine) FailedRecords() int64 { return e.failedRecords }
+
+// ShedEvents returns how many emergency load-shedding episodes fired.
+func (e *Engine) ShedEvents() int { return e.shedEvents }
+
+// ListenerPanics returns how many listener callbacks panicked (and were
+// isolated).
+func (e *Engine) ListenerPanics() int { return e.listenerPanics }
+
+// Redelivered returns records re-fetched after partition outages — the
+// at-least-once duplicate count.
+func (e *Engine) Redelivered() int64 { return e.group.Redelivered() }
+
+// CommittedLag returns records produced but not yet durably processed.
+func (e *Engine) CommittedLag() int64 { return e.group.CommittedLag() }
+
+// FullyCommitted reports whether every produced record was processed by a
+// successful batch — the zero-loss invariant once a run has drained.
+func (e *Engine) FullyCommitted() bool { return e.group.FullyCommitted() }
+
+// Partitions returns the topic partition count.
+func (e *Engine) Partitions() int { return len(e.topic.Partitions) }
 
 // SetIngestCap adjusts the accepted input rate limit (records/second);
 // non-positive removes the limit. This is the actuator for the

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nostop/internal/baselines"
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/faults"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// ChaosPlan is the scripted fault schedule the chaos experiment replays
+// against every variant: one window of each recoverable fault class, spread
+// over the middle half of the horizon so the first quarter establishes the
+// pre-fault steady state and the last quarter shows recovery.
+func ChaosPlan(horizon time.Duration) faults.Plan {
+	at := func(f float64) sim.Time { return sim.Time(float64(horizon) * f) }
+	dur := func(f float64) time.Duration { return time.Duration(float64(horizon) * f) }
+	return faults.Plan{
+		{Kind: faults.Straggler, At: at(0.30), Duration: dur(0.06), NodeID: 4, Factor: 4},
+		{Kind: faults.TaskFailures, At: at(0.42), Duration: dur(0.05), Prob: 0.5},
+		{Kind: faults.PartitionOutage, At: at(0.53), Duration: dur(0.05), Partition: 1},
+		{Kind: faults.NodeCrash, At: at(0.64), Duration: dur(0.06), NodeID: 5},
+		{Kind: faults.IngestSpike, At: at(0.72), Duration: dur(0.04), Factor: 1.6},
+	}
+}
+
+// chaosRun is one variant's engine run under a fault plan.
+type chaosRun struct {
+	res *runResult
+	inj *faults.Injector
+}
+
+// runChaos builds an engine for the workload, attaches the given controller
+// (may be nil), injects the plan, and runs the horizon. Every variant
+// derives its trace from the same split path, so all see identical arrivals.
+func runChaos(wl workload.Workload, plan faults.Plan, horizon time.Duration,
+	seed *rng.Stream, initial engine.Config,
+	attach func(*engine.Engine) error) (*chaosRun, error) {
+	clock := sim.NewClock()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    bandTrace(wl, seed.Split("trace")),
+		Seed:     seed.Split("engine"),
+		Initial:  initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.Attach(eng, plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if attach != nil {
+		if err := attach(eng); err != nil {
+			return nil, err
+		}
+	}
+	clock.RunUntil(sim.Time(horizon))
+	return &chaosRun{res: &runResult{history: eng.History(), eng: eng}, inj: inj}, nil
+}
+
+// steadyE2E averages clean-batch end-to-end delay over [from, to); NaN when
+// no clean batch completed in the window.
+func steadyE2E(history []engine.BatchStats, from, to sim.Time) float64 {
+	var xs []float64
+	for _, b := range history {
+		if b.DoneAt < from || b.DoneAt >= to || b.FirstAfterReconfig || b.FaultActive {
+			continue
+		}
+		xs = append(xs, b.EndToEndDelay.Seconds())
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return stats.Mean(xs)
+}
+
+// fmtE2E renders a steadyE2E mean, or "n/a" for an empty window.
+func fmtE2E(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// recoveryWindow is how many consecutive clean batches must sit inside the
+// recovery band before the system counts as recovered.
+const recoveryWindow = 3
+
+// recoveryTime returns how long after the last fault lifts the rolling mean
+// of clean-batch e2e delay re-enters 1.2× the pre-fault steady state
+// (negative if it never does within the run).
+func recoveryTime(history []engine.BatchStats, planEnd sim.Time, preFault float64) time.Duration {
+	band := 1.2 * preFault
+	var window []float64
+	for _, b := range history {
+		if b.DoneAt < planEnd || b.FirstAfterReconfig || b.FaultActive {
+			continue
+		}
+		window = append(window, b.EndToEndDelay.Seconds())
+		if len(window) > recoveryWindow {
+			window = window[1:]
+		}
+		if len(window) == recoveryWindow && stats.Mean(window) <= band {
+			return time.Duration(b.DoneAt - planEnd)
+		}
+	}
+	return -1
+}
+
+// fmtRecovery renders a recovery time, or "never" for runs that stay
+// degraded to the end of the horizon.
+func fmtRecovery(d time.Duration) string {
+	if d < 0 {
+		return "never"
+	}
+	return d.Round(time.Second).String()
+}
+
+// Chaos runs the scripted fault plan against the default static
+// configuration, Spark's PID back-pressure, and NoStop, and reports recovery
+// behaviour: how far delay degrades, how fast it returns to within 20% of
+// the pre-fault steady state, and the resilience accounting (failed batches,
+// retries, replayed records, records lost).
+func Chaos(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t, _, err := ChaosUnderPlan(cfg, "logreg", ChaosPlan(cfg.Horizon))
+	return t, err
+}
+
+// ChaosUnderPlan is Chaos parameterized by workload and fault plan (the
+// nostop-chaos command feeds it seeded random plans). The returned string is
+// the NoStop run's injected fault timeline.
+func ChaosUnderPlan(cfg Config, wlName string, plan faults.Plan) (*Table, string, error) {
+	cfg = cfg.withDefaults()
+	seed := rng.New(cfg.Seed).Split("chaos")
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(plan) == 0 {
+		return nil, "", fmt.Errorf("experiments: empty fault plan")
+	}
+	planEnd := plan.End()
+	preFrom, preTo := sim.Time(float64(cfg.Horizon)*0.15), plan.Start()
+	if preFrom >= preTo {
+		preFrom = preTo / 2
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Chaos: %d fault windows under default / back-pressure / NoStop (%s)", len(plan), wl.Name()),
+		Header: []string{"variant", "pre-fault e2e(s)", "post-recovery e2e(s)", "p50/p95 e2e(s)", "recovery",
+			"failed", "retries", "replayed", "lost"},
+	}
+
+	type variant struct {
+		name    string
+		initial engine.Config
+		attach  func(*engine.Engine) (func() []string, error)
+	}
+	noExtra := func(*engine.Engine) (func() []string, error) { return nil, nil }
+	variants := []variant{
+		{"default static", engine.DefaultConfig(), noExtra},
+		{"back pressure (PID)", engine.DefaultConfig(), func(eng *engine.Engine) (func() []string, error) {
+			bp, err := baselines.NewBackPressure(eng, baselines.BPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return nil, bp.Attach()
+		}},
+		{"NoStop", engine.DefaultConfig(), func(eng *engine.Engine) (func() []string, error) {
+			ctl, err := core.New(eng, core.Options{Seed: seed.Split("controller")})
+			if err != nil {
+				return nil, err
+			}
+			if err := ctl.Attach(); err != nil {
+				return nil, err
+			}
+			note := func() []string {
+				if b := eng.ConfigBounds(); !b.Contains(ctl.Estimate()) {
+					return []string{fmt.Sprintf("NoStop estimate %v escaped engine bounds", ctl.Estimate())}
+				}
+				return []string{fmt.Sprintf(
+					"NoStop excluded %d fault batches, recalibrated %d times, estimate %v stayed in bounds",
+					ctl.FaultBatches(), ctl.Recalibrations(), ctl.Estimate())}
+			}
+			return note, nil
+		}},
+	}
+
+	var timeline string
+	for _, v := range variants {
+		var notes func() []string
+		run, err := runChaos(wl, plan, cfg.Horizon, seed.Split(v.name), v.initial,
+			func(eng *engine.Engine) error {
+				n, err := v.attach(eng)
+				notes = n
+				return err
+			})
+		if err != nil {
+			return nil, "", err
+		}
+		eng := run.res.eng
+		pre := steadyE2E(run.res.history, preFrom, preTo)
+		post := steadyE2E(run.res.history, planEnd, sim.Time(cfg.Horizon))
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmtE2E(pre),
+			fmtE2E(post),
+			faultedDistribution(run.res.history, plan.Start()),
+			fmtRecovery(recoveryTime(run.res.history, planEnd, pre)),
+			fmt.Sprintf("%d", eng.FailedBatches()),
+			fmt.Sprintf("%d", eng.TaskRetries()),
+			fmt.Sprintf("%d", eng.Redelivered()),
+			fmt.Sprintf("%d", eng.FailedRecords()),
+		})
+		if run.inj.Injected() != len(plan) {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: only %d/%d fault windows injected", v.name, run.inj.Injected(), len(plan)))
+		}
+		if notes != nil {
+			t.Notes = append(t.Notes, notes()...)
+		}
+		timeline = run.inj.String() // identical plan per variant; last (NoStop) kept
+	}
+	t.Notes = append(t.Notes,
+		"p50/p95 cover every batch completed from the first fault onset on (fault windows included)",
+		"recovery = rolling clean-batch e2e mean back within 1.2x of the pre-fault steady state after the last fault lifts",
+		"replayed counts at-least-once redeliveries after the partition outage; lost counts records in batches that exhausted the retry budget")
+	return t, timeline, nil
+}
+
+// faultedDistribution renders the p50/p95 end-to-end delay over every batch
+// completed from the first fault onset to the end of the run.
+func faultedDistribution(history []engine.BatchStats, from sim.Time) string {
+	var xs []float64
+	for _, b := range history {
+		if b.DoneAt >= from {
+			xs = append(xs, b.EndToEndDelay.Seconds())
+		}
+	}
+	if len(xs) == 0 {
+		return "n/a"
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return fmt.Sprintf("%.1f/%.1f", stats.Percentile(sorted, 0.50), stats.Percentile(sorted, 0.95))
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"nostop/internal/sim"
+)
+
+func TestChaosPlanValidates(t *testing.T) {
+	for _, h := range []time.Duration{30 * time.Minute, 2 * time.Hour} {
+		plan := ChaosPlan(h)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("scripted plan for %v invalid: %v", h, err)
+		}
+		if plan.End() >= sim.Time(h) {
+			t.Fatalf("plan for %v leaves no recovery tail", h)
+		}
+	}
+}
+
+func TestChaosRecoveryAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant chaos run")
+	}
+	cfg := quick()
+	tab, timeline, err := ChaosUnderPlan(cfg, "logreg", ChaosPlan(cfg.Horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("chaos table has %d rows, want 3", len(tab.Rows))
+	}
+	if timeline == "" {
+		t.Fatal("no fault timeline recorded")
+	}
+	// NoStop (last row): zero records lost, and delay recovered — the
+	// recovery column is a duration, not "never".
+	const nostop = 2
+	if lost := cell(t, tab, nostop, 8); lost != "0" {
+		t.Fatalf("NoStop lost %s records under the scripted plan", lost)
+	}
+	// The recovery column IS the 20% acceptance: the rolling clean-batch
+	// mean re-entered 1.2x of pre-fault steady state after the last fault.
+	if rec := cell(t, tab, nostop, 4); rec == "never" {
+		t.Fatal("NoStop never recovered to within 20% of pre-fault delay")
+	}
+	// The tail mean also covers SPSA probe batches (the resumed search
+	// deliberately visits bad configurations), so it only gates gross
+	// degradation, not the 20% band.
+	pre, post := cellFloat(t, tab, nostop, 1), cellFloat(t, tab, nostop, 2)
+	if post > 2.5*pre {
+		t.Fatalf("NoStop post-fault e2e %.2fs blew past pre-fault %.2fs", post, pre)
+	}
+	// The task-failure window must actually exercise the retry path.
+	if retries, _ := strconv.Atoi(cell(t, tab, nostop, 6)); retries == 0 {
+		t.Fatal("scripted task-failure window produced no retries")
+	}
+}

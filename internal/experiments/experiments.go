@@ -286,6 +286,7 @@ func RunAll(w io.Writer, cfg Config) error {
 		AblationReset, AblationGains, AblationScaling, AblationStepClip,
 		AblationObjective,
 		Extension3Param, ExtensionAutoGains, ExtensionNodeFailure,
+		Chaos,
 	} {
 		t, err := run(cfg)
 		if err != nil {
