@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a clean `make verify` locally means a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: build vet test race chaos bench verify
+
+build:
+	$(GO) build ./...
+
+## vet: standard go vet plus the repo's determinism-contract analyzers
+## (wallclock, randsource, maporder, floateq, simgoroutine — see DESIGN.md §5d).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/nostop-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## chaos: replay the scripted fault plan against all three variants.
+chaos:
+	$(GO) run ./cmd/nostop-chaos
+
+bench:
+	$(GO) run ./cmd/nostop-bench -quick
+
+verify: build vet test race

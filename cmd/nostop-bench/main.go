@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"nostop/internal/experiments"
@@ -40,11 +41,12 @@ var registry = map[string]func(experiments.Config) (*experiments.Table, error){
 }
 
 func names() string {
-	out := []string{"all", "table2"}
+	keys := make([]string, 0, len(registry))
 	for k := range registry {
-		out = append(out, k)
+		keys = append(keys, k)
 	}
-	return strings.Join(out, ", ")
+	sort.Strings(keys)
+	return strings.Join(append([]string{"all", "table2"}, keys...), ", ")
 }
 
 func main() {

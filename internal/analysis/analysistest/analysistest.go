@@ -1,0 +1,119 @@
+// Package analysistest runs a determinism-contract analyzer over a fixture
+// package and checks its findings against expectations embedded in the
+// fixture source, in the style of golang.org/x/tools/go/analysis/analysistest
+// (rebuilt on the standard library; this repository has no dependencies).
+//
+// A fixture lives in testdata/src/<name>/ relative to the calling test's
+// package directory. Every line that must produce a finding carries a
+// trailing comment of the form
+//
+//	// want "regexp"
+//
+// where the quoted text is a regular expression (used verbatim, no string
+// unescaping) matched against the diagnostic message. Lines without a want
+// comment must produce no finding.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nostop/internal/analysis"
+)
+
+// Run loads testdata/src/<fixture> as import path "fixture/<fixture>", runs
+// the analyzer under cfg (nil: everywhere, empty allowlists), and reports any
+// mismatch between findings and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string, cfg *analysis.Config) {
+	t.Helper()
+	diags := Diagnostics(t, a, fixture, "fixture/"+fixture, cfg)
+	pkg := load(t, fixture, "fixture/"+fixture)
+	wants := parseWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no finding matched want %q", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+// Diagnostics runs the analyzer over the fixture loaded under importPath and
+// returns its findings without checking want comments. Tests use it to probe
+// the package-allowlist paths, where the same fixture must yield different
+// findings under different configs.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, fixture, importPath string, cfg *analysis.Config) []analysis.Diagnostic {
+	t.Helper()
+	return analysis.Check([]*analysis.Package{load(t, fixture, importPath)}, []*analysis.Analyzer{a}, cfg)
+}
+
+func load(t *testing.T, fixture, importPath string) *analysis.Package {
+	t.Helper()
+	pkg, err := analysis.LoadDir(filepath.Join("testdata", "src", fixture), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func parseWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				wants = append(wants, parseComment(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseComment(t *testing.T, fset *token.FileSet, c *ast.Comment) []want {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var wants []want
+	for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+		rx, err := regexp.Compile(q[1])
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+		}
+		wants = append(wants, want{file: pos.Filename, line: pos.Line, rx: rx})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: want comment with no quoted regexp: %s", pos, strings.TrimSpace(c.Text))
+	}
+	return wants
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags exact float equality steering control flow in the numeric
+// decision-making packages. Rounding differences that are harmless in a
+// reported metric become divergent execution paths when they guard a branch —
+// exactly the kind of hair-trigger nondeterminism that survives a fixed seed
+// but not a compiler or libm change. Comparisons in plain expressions (e.g.
+// assertions building a bool value) are left alone, and tests are skipped:
+// they may legitimately assert exact values.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands in if/for/switch conditions; " +
+		"compare through internal/approx instead",
+	SkipTestFiles: true,
+	Run:           runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				floatEqInCond(pass, n.Cond)
+			case *ast.ForStmt:
+				floatEqInCond(pass, n.Cond)
+			case *ast.SwitchStmt:
+				if n.Tag != nil {
+					if isFloat(pass.TypesInfo.TypeOf(n.Tag)) {
+						pass.Reportf(n.Tag.Pos(),
+							"switch on a floating-point value compares with ==; use approx.Eq in explicit conditions")
+					}
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						floatEqInCond(pass, e)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floatEqInCond reports every float ==/!= nested anywhere in the condition
+// expression (through &&, ||, !, and parentheses).
+func floatEqInCond(pass *Pass, cond ast.Expr) {
+	if cond == nil {
+		return
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(pass.TypesInfo.TypeOf(b.X)) || isFloat(pass.TypesInfo.TypeOf(b.Y)) {
+			pass.Reportf(b.Pos(),
+				"exact floating-point %s in a control-flow condition; use approx.Eq/approx.Zero (epsilon compare)", b.Op)
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

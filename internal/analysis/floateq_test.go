@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, analysis.FloatEq, "floateq", nil)
+}

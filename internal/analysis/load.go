@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one type-checked unit of the module: a library package (with
+// its in-package test files when tests are loaded) or an external _test
+// package, whose Path carries a "_test" suffix.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadOptions controls module loading.
+type LoadOptions struct {
+	// Tests includes _test.go files and external test packages.
+	Tests bool
+}
+
+// LoadModule parses and type-checks every package under the module rooted at
+// root (the directory containing go.mod), resolving intra-module imports
+// against the freshly checked packages and everything else against the
+// installed standard library. testdata, vendor, and hidden directories are
+// skipped. Packages are returned sorted by import path.
+func LoadModule(root string, opts LoadOptions) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	var units []*unit
+	byPath := map[string]*unit{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		us, err := parseDir(fset, root, modPath, path, opts)
+		if err != nil {
+			return err
+		}
+		units = append(units, us...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+	for _, u := range units {
+		byPath[u.path] = u
+	}
+
+	order, err := topoSort(units, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newImporter(fset)
+	var pkgs []*Package
+	for _, u := range order {
+		pkg, err := checkUnit(fset, u, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[u.path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path, resolving imports against the standard library only. It is the
+// loader used for analysistest fixtures.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseGoFiles(fset, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return checkUnit(fset, &unit{path: importPath, dir: dir, files: files}, newImporter(fset))
+}
+
+// unit is a pre-typecheck package: its files plus intra-module dependencies.
+type unit struct {
+	path  string
+	dir   string
+	files []*ast.File
+	deps  []string
+}
+
+var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := moduleDirective.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+func parseGoFiles(fset *token.FileSet, dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// parseDir turns one directory into zero, one, or two units: the package
+// itself (including in-package test files) and, separately, its external
+// package_test if one exists.
+func parseDir(fset *token.FileSet, root, modPath, dir string, opts LoadOptions) ([]*unit, error) {
+	files, err := parseGoFiles(fset, dir, opts.Tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	lib := &unit{path: path, dir: dir}
+	ext := &unit{path: path + "_test", dir: dir}
+	for _, f := range files {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			ext.files = append(ext.files, f)
+		} else {
+			lib.files = append(lib.files, f)
+		}
+	}
+
+	var units []*unit
+	if len(lib.files) > 0 {
+		lib.deps = localImports(lib.files, modPath)
+		units = append(units, lib)
+	}
+	if len(ext.files) > 0 {
+		ext.deps = localImports(ext.files, modPath)
+		units = append(units, ext)
+	}
+	return units, nil
+}
+
+func localImports(files []*ast.File, modPath string) []string {
+	seen := map[string]bool{}
+	var deps []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				deps = append(deps, p)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// topoSort orders units so every unit follows its intra-module dependencies.
+func topoSort(units []*unit, byPath map[string]*unit) ([]*unit, error) {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[string]int{}
+	var order []*unit
+	var visit func(u *unit, trail []string) error
+	visit = func(u *unit, trail []string) error {
+		switch state[u.path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(trail, u.path), " -> "))
+		}
+		state[u.path] = visiting
+		for _, dep := range u.deps {
+			if dep == u.path {
+				continue // external test package importing the library it tests
+			}
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d, append(trail, u.path)); err != nil {
+					return err
+				}
+			}
+		}
+		state[u.path] = done
+		order = append(order, u)
+		return nil
+	}
+	for _, u := range units {
+		if err := visit(u, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the packages checked so
+// far and everything else from the compiled standard library, falling back to
+// type-checking the standard library from source if export data is missing.
+type moduleImporter struct {
+	std    types.Importer
+	source types.Importer
+	fset   *token.FileSet
+	local  map[string]*types.Package
+}
+
+func newImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		std:   importer.ForCompiler(fset, "gc", nil),
+		fset:  fset,
+		local: map[string]*types.Package{},
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if m.source == nil {
+		m.source = importer.ForCompiler(m.fset, "source", nil)
+	}
+	return m.source.Import(path)
+}
+
+func checkUnit(fset *token.FileSet, u *unit, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(u.path, fset, u.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", u.path, err)
+	}
+	return &Package{Path: u.path, Dir: u.dir, Fset: fset, Files: u.files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nostop/internal/analysis"
+)
+
+func loadRepo(t *testing.T, tests bool) []*analysis.Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: tests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestLoadModule(t *testing.T) {
+	pkgs := loadRepo(t, true)
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, path := range []string{
+		"nostop/internal/sim",
+		"nostop/internal/engine",
+		"nostop/internal/rng",
+		"nostop/internal/experiments",
+		"nostop/cmd/nostop-vet",
+		"nostop", // root package exists only as its bench _test files
+	} {
+		pkg, ok := byPath[path]
+		if !ok {
+			t.Errorf("module load missing package %s", path)
+			continue
+		}
+		if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+			t.Errorf("%s loaded without types or files", path)
+		}
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Path >= pkgs[i].Path {
+			t.Fatalf("packages not sorted: %s before %s", pkgs[i-1].Path, pkgs[i].Path)
+		}
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("testdata package leaked into module load: %s", p.Path)
+		}
+	}
+}
+
+// TestRepoIsContractClean is the acceptance gate, in-process: the full
+// analyzer suite over the whole module (tests included) under the default
+// allowlists must report nothing. This is exactly what cmd/nostop-vet runs,
+// so `go test ./...` fails the moment a wall-clock read, stray rand import,
+// unsorted map iteration, float == guard, or goroutine slips into the
+// simulation.
+func TestRepoIsContractClean(t *testing.T) {
+	pkgs := loadRepo(t, true)
+	diags := analysis.Check(pkgs, analysis.All(), analysis.DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

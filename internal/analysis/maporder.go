@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags the classic nondeterministic-ordering bug: ranging over a
+// map while feeding an order-sensitive sink. Go randomizes map iteration
+// order per run, so anything positional or non-commutative built inside such
+// a loop differs between identically seeded runs. Order-sensitive sinks:
+//
+//   - append to a slice (positions depend on visit order) — unless the slice
+//     is passed to sort.* / slices.* later in the same block, the sanctioned
+//     collect-then-sort idiom;
+//   - writing output (fmt.Print/Fprint families, Write*/Encode methods);
+//   - string concatenation with +=;
+//   - floating-point accumulation with += / -= / *= / /= (float addition is
+//     not associative, so even a "commutative" sum is order-dependent);
+//   - channel sends.
+//
+// Commutative integer reductions, max/min scans with deterministic
+// tie-breaks, and map-to-map merges are order-insensitive and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body appends, writes output, or " +
+		"accumulates floats/strings without an intervening sort",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, s := range list {
+				if labeled, ok := s.(*ast.LabeledStmt); ok {
+					s = labeled.Stmt
+				}
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !isMap(pass.TypesInfo.TypeOf(rs.X)) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// stmtList returns the statement list a node carries, so a range statement
+// can be inspected together with the statements that follow it.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapSink is one order-sensitive operation found in a map-range body.
+type mapSink struct {
+	pos  token.Pos
+	what string
+	// appendTo is the slice object being appended to, when the sink is an
+	// append whose ordering a later sort could repair.
+	appendTo types.Object
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	sinks := collectSinks(pass, rs.Body)
+	for _, s := range sinks {
+		if s.appendTo != nil && sortedAfter(pass, rest, s.appendTo) {
+			continue // collect-then-sort idiom: order repaired before use
+		}
+		pass.Reportf(rs.Pos(),
+			"map iteration order is nondeterministic and reaches %s; sort the keys first", s.what)
+		return // one finding per loop
+	}
+}
+
+func collectSinks(pass *Pass, body *ast.BlockStmt) []mapSink {
+	var sinks []mapSink
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s, ok := callSink(pass, n); ok {
+				sinks = append(sinks, s)
+			}
+		case *ast.AssignStmt:
+			if s, ok := assignSink(pass, n); ok {
+				sinks = append(sinks, s)
+			}
+		case *ast.SendStmt:
+			sinks = append(sinks, mapSink{pos: n.Pos(), what: "a channel send"})
+		}
+		return true
+	})
+	return sinks
+}
+
+func callSink(pass *Pass, call *ast.CallExpr) (mapSink, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			s := mapSink{pos: call.Pos(), what: "an append (element order)"}
+			if target, ok := call.Args[0].(*ast.Ident); ok {
+				s.appendTo = pass.TypesInfo.ObjectOf(target)
+			}
+			return s, true
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sig != nil && sig.Recv() == nil &&
+				(hasPrefix(name, "Print") || hasPrefix(name, "Fprint")) {
+				return mapSink{pos: call.Pos(), what: "formatted output (line order)"}, true
+			}
+			if sig != nil && sig.Recv() != nil &&
+				(name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" || name == "Encode") {
+				return mapSink{pos: call.Pos(), what: fmt.Sprintf("a %s call (output order)", name)}, true
+			}
+		}
+	}
+	return mapSink{}, false
+}
+
+func assignSink(pass *Pass, assign *ast.AssignStmt) (mapSink, bool) {
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return mapSink{}, false
+	}
+	if len(assign.Lhs) != 1 {
+		return mapSink{}, false
+	}
+	// Per-key accumulation into another map (dst[k] += v) is order-insensitive:
+	// each key folds its own contributions regardless of visit order.
+	if idx, ok := assign.Lhs[0].(*ast.IndexExpr); ok && isMap(pass.TypesInfo.TypeOf(idx.X)) {
+		return mapSink{}, false
+	}
+	t := pass.TypesInfo.TypeOf(assign.Lhs[0])
+	if t == nil {
+		return mapSink{}, false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return mapSink{}, false
+	}
+	switch {
+	case assign.Tok == token.ADD_ASSIGN && basic.Info()&types.IsString != 0:
+		return mapSink{pos: assign.Pos(), what: "string concatenation (order-dependent value)"}, true
+	case basic.Info()&types.IsFloat != 0:
+		return mapSink{pos: assign.Pos(), what: "floating-point accumulation (addition is not associative)"}, true
+	}
+	return mapSink{}, false
+}
+
+// sortedAfter reports whether a later statement in the same block passes obj
+// to a sort.* or slices.* function, which repairs append ordering.
+func sortedAfter(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// RandSource keeps all randomness flowing through named rng.Streams. Two
+// rules:
+//
+//  1. Importing math/rand (v1 or v2) or crypto/rand is banned outside the
+//     packages on the "randsource.imports" allowlist (internal/rng, which
+//     owns the seeded streams).
+//  2. The implicitly seeded package-level functions of those packages
+//     (rand.Intn, rand.Shuffle, crypto/rand.Read, ...) are banned everywhere,
+//     allowlist included: they draw from a process-global source the seed
+//     plumbing cannot reach. Constructors (rand.New, rand.NewSource, ...)
+//     remain legal inside the allowlist.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc: "ban math/rand and crypto/rand imports outside internal/rng, and the " +
+		"global (implicitly seeded) rand functions everywhere",
+	Run: runRandSource,
+}
+
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runRandSource(pass *Pass) {
+	importAllowed := MatchAny(pass.Path, pass.List("imports"))
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randPackages[p] {
+				continue
+			}
+			if !importAllowed {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/rng; draw randomness from a named rng.Stream", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPackages[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. use an explicit source
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // constructors take an explicit seed/source
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the global rand source; use a seeded rng.Stream", fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+}

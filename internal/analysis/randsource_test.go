@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestRandSource(t *testing.T) {
+	analysistest.Run(t, analysis.RandSource, "randsource", nil)
+}
+
+// TestRandSourceImportAllowlist loads the same fixture under an allowlisted
+// and a non-allowlisted import path: the import findings must disappear for
+// the allowlisted package (it plays internal/rng) and appear otherwise.
+func TestRandSourceImportAllowlist(t *testing.T) {
+	cfg := &analysis.Config{Lists: map[string][]string{
+		"randsource.imports": {"fixture/rng/..."},
+	}}
+
+	if diags := analysistest.Diagnostics(t, analysis.RandSource, "randsource_allow", "fixture/rng", cfg); len(diags) != 0 {
+		t.Errorf("allowlisted package: want 0 findings, got %d: %v", len(diags), diags)
+	}
+
+	diags := analysistest.Diagnostics(t, analysis.RandSource, "randsource_allow", "fixture/other", cfg)
+	if len(diags) != 2 {
+		t.Fatalf("non-allowlisted package: want 2 import findings, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "randsource" {
+			t.Errorf("finding from %q, want randsource", d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package analysis
+
+// All returns every determinism-contract analyzer, in report order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatEq, MapOrder, RandSource, SimGoroutine, WallClock}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// SimGoroutine keeps the simulation single-threaded. The discrete-event
+// kernel owes its determinism to one goroutine draining one ordered queue;
+// concurrency inside the simulation packages would reintroduce scheduling
+// nondeterminism the whole design exists to remove. Concurrency is modelled
+// as events, not expressed with goroutines. internal/listener is exempted in
+// DefaultConfig: it serves concurrent external readers behind a lock.
+var SimGoroutine = &Analyzer{
+	Name: "simgoroutine",
+	Doc: "flag go statements and sync/sync-atomic imports in the single-threaded " +
+		"simulation packages",
+	Run: runSimGoroutine,
+}
+
+func runSimGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "sync" || p == "sync/atomic" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a single-threaded simulation package; model concurrency as events", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"goroutine launched in a single-threaded simulation package; schedule an event on the sim.Clock instead")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestSimGoroutine(t *testing.T) {
+	analysistest.Run(t, analysis.SimGoroutine, "simgoroutine", nil)
+}

@@ -1,0 +1,45 @@
+// Package floateqfixture exercises the floateq analyzer.
+package floateqfixture
+
+type celsius float64
+
+func conds(a, b float64, t celsius, n int) int {
+	if a == b { // want "exact floating-point == in a control-flow condition"
+		return 1
+	}
+	if a != 0 { // want "exact floating-point != in a control-flow condition"
+		return 2
+	}
+	if n == 3 { // integer comparison: fine
+		return 3
+	}
+	if a < b || a >= b { // ordered comparisons: fine
+		return 4
+	}
+	if n > 0 && a == 0 { // want "exact floating-point == in a control-flow condition"
+		return 5
+	}
+	if t == 0 { // want "exact floating-point == in a control-flow condition"
+		return 6 // named float types count
+	}
+	for a == b { // want "exact floating-point == in a control-flow condition"
+		break
+	}
+	switch {
+	case a == b: // want "exact floating-point == in a control-flow condition"
+		return 7
+	}
+	switch a { // want "switch on a floating-point value"
+	case 1:
+		return 8
+	}
+	_ = a == b // plain expression, not control flow: fine
+	return 0
+}
+
+func suppressed(a float64) bool {
+	if a == 0 { //nostop:allow floateq -- fixture: zero is an exact sentinel here
+		return true
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+// Package maporderfixture exercises the maporder analyzer.
+package maporderfixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic and reaches an append"
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: the sanctioned idiom, not flagged
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectThenSortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want "map iteration order is nondeterministic and reaches formatted output"
+		fmt.Println(k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order is nondeterministic and reaches a WriteString call"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order is nondeterministic and reaches string concatenation"
+		s += k
+	}
+	return s
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is nondeterministic and reaches floating-point accumulation"
+		sum += v
+	}
+	return sum
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order is nondeterministic and reaches a channel send"
+		ch <- k
+	}
+}
+
+func goodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // commutative integer reduction: order-insensitive
+		n += v
+	}
+	return n
+}
+
+func goodMaxWithTieBreak(m map[string]int) string {
+	top, topN := "", -1
+	for k, v := range m { // deterministic tie-break: order-insensitive
+		if v > topN || (v == topN && k < top) {
+			top, topN = k, v
+		}
+	}
+	return top
+}
+
+func goodMapMerge(dst, src map[string]int) {
+	for k, v := range src { // map-to-map merge: order-insensitive
+		dst[k] += v
+	}
+}
+
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slice iteration is ordered: fine
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//nostop:allow maporder -- fixture: tolerance-bounded aggregate, order accepted
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Package randsourcefixture exercises the randsource analyzer outside the
+// import allowlist: both the imports and the global functions are findings.
+package randsourcefixture
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand outside internal/rng"
+	"math/rand"         // want "import of math/rand outside internal/rng"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want "math/rand.Intn draws from the global rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "math/rand.Shuffle draws from the global rand source"
+	_, _ = crand.Read(make([]byte, 8)) // want "crypto/rand.Read draws from the global rand source"
+}
+
+func goodMethods() {
+	// Methods on an explicitly seeded source are fine; only the imports above
+	// are findings for this file's package path.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)
+	_ = r.NormFloat64()
+}
+
+func suppressed() {
+	_ = rand.Int63() //nostop:allow randsource -- fixture: deliberate escape hatch
+}

@@ -1,0 +1,25 @@
+// Package randsourceallow is loaded by the tests under two different import
+// paths: one on the randsource import allowlist (no findings expected — it
+// plays the role of internal/rng) and one off it (two import findings). It
+// intentionally carries no want comments; the allowlist test compares raw
+// diagnostics instead.
+package randsourceallow
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Stream wraps an explicitly seeded source, like internal/rng does.
+type Stream struct{ r *rand.Rand }
+
+func New(seed int64) *Stream { return &Stream{r: rand.New(rand.NewSource(seed))} }
+
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Entropy is unused in the simulator but keeps the crypto/rand import live.
+func Entropy() []byte {
+	b := make([]byte, 8)
+	_, _ = crand.Reader.Read(b)
+	return b
+}

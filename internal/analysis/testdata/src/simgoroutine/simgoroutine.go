@@ -1,0 +1,27 @@
+// Package simgoroutinefixture exercises the simgoroutine analyzer.
+package simgoroutinefixture
+
+import (
+	"sync"        // want "import of sync in a single-threaded simulation package"
+	"sync/atomic" // want "import of sync/atomic in a single-threaded simulation package"
+)
+
+func bad() {
+	go func() {}() // want "goroutine launched in a single-threaded simulation package"
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	var n int64
+	atomic.AddInt64(&n, 1)
+}
+
+func good(events []func()) {
+	// The single-threaded alternative: run callbacks inline, in order.
+	for _, fn := range events {
+		fn()
+	}
+}
+
+func suppressed() {
+	go func() {}() //nostop:allow simgoroutine -- fixture: deliberate escape hatch
+}

@@ -1,0 +1,34 @@
+// Package wallclockfixture exercises the wallclock analyzer.
+package wallclockfixture
+
+import "time"
+
+// simClock mimics sim.Clock: methods named Now/After on other types are not
+// the wall clock and must not be flagged.
+type simClock struct{ now time.Duration }
+
+func (c *simClock) Now() time.Duration                   { return c.now }
+func (c *simClock) After(d time.Duration, fn func()) any { return nil }
+
+func bad() {
+	_ = time.Now()              // want "time.Now reads the wall clock"
+	time.Sleep(time.Second)     // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{}) // want "time.Since reads the wall clock"
+	<-time.After(time.Second)   // want "time.After reads the wall clock"
+	_ = time.NewTimer(0)        // want "time.NewTimer reads the wall clock"
+	f := time.Now               // want "time.Now reads the wall clock"
+	_ = f
+}
+
+func good() {
+	c := &simClock{}
+	_ = c.Now()                       // virtual time: fine
+	c.After(3*time.Second, func() {}) // sim scheduling: fine
+	d := 250 * time.Millisecond       // Duration values and arithmetic: fine
+	_ = d.Seconds()
+	_ = time.Unix(0, 0) // constructing a fixed instant: fine
+}
+
+func suppressed() {
+	_ = time.Now() //nostop:allow wallclock -- fixture: deliberate escape hatch
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock bans reading the wall clock inside the simulation. Every instant
+// an internal package observes must come from the sim.Clock so a seeded run
+// replays identically; time.Duration values and arithmetic stay legal.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "ban time.Now/Since/Until/Sleep/After/Tick/NewTimer/NewTicker/AfterFunc " +
+		"in internal packages; all time flows through the sim.Clock",
+	Run: runWallClock,
+}
+
+// bannedTimeFuncs are the package-level functions of package time that read
+// or wait on the wall clock. Methods named Now/After on other types (notably
+// sim.Clock) resolve to different objects and are untouched.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; schedule on the sim.Clock (virtual time) instead", fn.Name())
+			return true
+		})
+	}
+}

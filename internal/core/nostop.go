@@ -22,6 +22,7 @@ import (
 	"math"
 	"time"
 
+	"nostop/internal/approx"
 	"nostop/internal/engine"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
@@ -291,7 +292,7 @@ func New(eng *engine.Engine, opts Options) (*Controller, error) {
 		return nil, errors.New("core: nil engine")
 	}
 	b := eng.ConfigBounds()
-	if opts.NormLo == 0 && opts.NormHi == 0 {
+	if approx.Unset(opts.NormLo) && approx.Unset(opts.NormHi) {
 		opts.NormLo, opts.NormHi = 1, 20
 	}
 	if opts.NormHi <= opts.NormLo {
@@ -310,16 +311,16 @@ func New(eng *engine.Engine, opts Options) (*Controller, error) {
 	if opts.PauseWindow == 0 {
 		opts.PauseWindow = 10
 	}
-	if opts.PauseStd == 0 {
+	if approx.Unset(opts.PauseStd) {
 		opts.PauseStd = 2
 	}
-	if opts.Rho0 == 0 {
+	if approx.Unset(opts.Rho0) {
 		opts.Rho0 = 1
 	}
-	if opts.RhoStep == 0 {
+	if approx.Unset(opts.RhoStep) {
 		opts.RhoStep = 0.1
 	}
-	if opts.RhoMax == 0 {
+	if approx.Unset(opts.RhoMax) {
 		opts.RhoMax = 2
 	}
 	if opts.ResetCooldown == 0 {
@@ -331,7 +332,7 @@ func New(eng *engine.Engine, opts Options) (*Controller, error) {
 	if opts.DrainDelay == 0 {
 		opts.DrainDelay = 75 * time.Second
 	}
-	if opts.PauseMargin == 0 {
+	if approx.Unset(opts.PauseMargin) {
 		opts.PauseMargin = 0.1
 	}
 	if opts.MaxIterations == 0 {
@@ -698,7 +699,7 @@ func (c *Controller) rateChanged() bool {
 	if c.everReset && c.eng.Clock().Now()-c.lastReset < sim.Time(c.opts.ResetCooldown) {
 		return false // one surge transition = one reset
 	}
-	if c.rateThresh == 0 {
+	if approx.Unset(c.rateThresh) {
 		mean := c.eng.RecentRateMean()
 		if mean <= 0 {
 			return false
@@ -723,7 +724,7 @@ func (c *Controller) reset() {
 	c.sinceRestart = 0
 	c.restartAt = c.eng.Clock().Now()
 	// Re-derive the threshold from post-change traffic on the next check.
-	if c.opts.RateStdThreshold == 0 {
+	if approx.Unset(c.opts.RateStdThreshold) {
 		c.rateThresh = 0
 	}
 	_ = c.beginIteration()

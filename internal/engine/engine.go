@@ -25,6 +25,7 @@ import (
 	"log"
 	"time"
 
+	"nostop/internal/approx"
 	"nostop/internal/broker"
 	"nostop/internal/cluster"
 	"nostop/internal/ratetrace"
@@ -365,13 +366,13 @@ func New(clock *sim.Clock, opts Options) (*Engine, error) {
 	if opts.RetryBackoffMax == 0 {
 		opts.RetryBackoffMax = 30 * time.Second
 	}
-	if opts.SpeculativeMultiplier == 0 {
+	if approx.Unset(opts.SpeculativeMultiplier) {
 		opts.SpeculativeMultiplier = 1.5
 	}
-	if opts.SpeculativeOverhead == 0 {
+	if approx.Unset(opts.SpeculativeOverhead) {
 		opts.SpeculativeOverhead = 0.25
 	}
-	if opts.ShedFactor == 0 {
+	if approx.Unset(opts.ShedFactor) {
 		opts.ShedFactor = 0.8
 	}
 	if opts.ShedDuration == 0 {
@@ -883,7 +884,7 @@ func (e *Engine) SetFaultActive(active bool) { e.faultActive = active }
 // explicit window, a task-failure or straggler injection, an ingest boost, a
 // failed node, or a downed partition.
 func (e *Engine) faultInEffect() bool {
-	if e.faultActive || e.taskFail > 0 || len(e.slowNodes) > 0 || e.ingestBoost != 1 {
+	if e.faultActive || e.taskFail > 0 || len(e.slowNodes) > 0 || !approx.Eq(e.ingestBoost, 1) {
 		return true
 	}
 	for _, n := range e.cl.Nodes() {

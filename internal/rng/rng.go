@@ -43,6 +43,12 @@ func (s *Stream) Split(name string) *Stream {
 // Name returns the stream's hierarchical name (for diagnostics).
 func (s *Stream) Name() string { return s.name }
 
+// Rand exposes the stream's underlying seeded *rand.Rand for interop with
+// standard-library APIs that accept one (e.g. testing/quick's Config.Rand,
+// whose default source is time-seeded and would break run-to-run
+// reproducibility). The returned value shares the stream's state.
+func (s *Stream) Rand() *rand.Rand { return s.r }
+
 // Float64 returns a uniform value in [0,1).
 func (s *Stream) Float64() float64 { return s.r.Float64() }
 

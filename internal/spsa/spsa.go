@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"nostop/internal/approx"
 	"nostop/internal/rng"
 )
 
@@ -64,10 +65,10 @@ func DefaultParams(span, noiseStd float64) Params {
 
 // validate fills zero exponents with defaults and checks signs.
 func (p *Params) validate() error {
-	if p.Alpha == 0 {
+	if approx.Unset(p.Alpha) {
 		p.Alpha = 0.602
 	}
-	if p.Gamma == 0 {
+	if approx.Unset(p.Gamma) {
 		p.Gamma = 0.101
 	}
 	if p.Aa <= 0 || p.C <= 0 || p.A < 0 {

@@ -2,9 +2,10 @@ package stats
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"nostop/internal/rng"
 )
 
 func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
@@ -60,7 +61,7 @@ func TestOnlineReset(t *testing.T) {
 }
 
 func TestOnlineMergeMatchesSequential(t *testing.T) {
-	r := rand.New(rand.NewSource(5))
+	r := rng.New(5).Rand()
 	var all, a, b Online
 	for i := 0; i < 1000; i++ {
 		x := r.NormFloat64()*3 + 1
@@ -121,7 +122,7 @@ func TestWindowEviction(t *testing.T) {
 
 func TestWindowStdMatchesBatch(t *testing.T) {
 	w := NewWindow(10)
-	r := rand.New(rand.NewSource(8))
+	r := rng.New(8).Rand()
 	for i := 0; i < 100; i++ {
 		w.Add(r.Float64() * 50)
 	}
@@ -184,7 +185,7 @@ func TestWindowValuesOrderProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng.New(11).Rand()}); err != nil {
 		t.Error(err)
 	}
 }
