@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench verify
+.PHONY: build vet test race chaos bench trace verify
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,10 @@ chaos:
 bench:
 	$(GO) run ./cmd/nostop-bench -quick
 
-verify: build vet test race
+## trace: short observed run; nostop-sim validates the emitted file against
+## the Chrome trace_event schema shape and exits non-zero if it is malformed.
+trace:
+	$(GO) run ./cmd/nostop-sim -horizon 10m -report 10m \
+		-trace /tmp/nostop-trace.json -metrics /tmp/nostop-metrics.prom
+
+verify: build vet test race trace

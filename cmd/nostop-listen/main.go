@@ -19,6 +19,7 @@ import (
 	"nostop/internal/core"
 	"nostop/internal/engine"
 	"nostop/internal/listener"
+	"nostop/internal/metrics"
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
@@ -51,11 +52,13 @@ func run(addr, wlName string, seedN uint64, speedup float64, horizon time.Durati
 	}
 	min, max := wl.RateBand()
 	clock := sim.NewClock()
+	reg := metrics.NewRegistry()
 	eng, err := engine.New(clock, engine.Options{
 		Workload: wl,
 		Trace:    ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split("trace")),
 		Seed:     seed.Split("engine"),
 		Initial:  engine.DefaultConfig(),
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -64,7 +67,8 @@ func run(addr, wlName string, seedN uint64, speedup float64, horizon time.Durati
 	if err != nil {
 		return err
 	}
-	ctl, err := core.New(eng, core.Options{Seed: seed.Split("controller")})
+	col.SetRegistry(reg)
+	ctl, err := core.New(eng, core.Options{Seed: seed.Split("controller"), Metrics: reg})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,12 @@
 //	nostop-sim -workload logreg -horizon 2h
 //	nostop-sim -workload wordcount -tuner bayesopt -seed 7
 //	nostop-sim -workload pageanalyze -tuner none -interval 12s -executors 16
+//	nostop-sim -horizon 30m -trace out.json -metrics out.prom
+//
+// -trace writes the full record-lifecycle timeline as Chrome trace_event
+// JSON (open in chrome://tracing or Perfetto); -metrics writes the final
+// Prometheus text exposition. Both are byte-identical across same-seed
+// runs.
 package main
 
 import (
@@ -17,10 +23,12 @@ import (
 	"nostop/internal/baselines"
 	"nostop/internal/core"
 	"nostop/internal/engine"
+	"nostop/internal/metrics"
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
 	"nostop/internal/stats"
+	"nostop/internal/tracing"
 	"nostop/internal/workload"
 )
 
@@ -37,12 +45,14 @@ func main() {
 		report    = flag.Duration("report", 10*time.Minute, "progress report period (virtual)")
 		failNode  = flag.Int("fail-node", 0, "kill this node ID mid-run (0: no failure)")
 		failAt    = flag.Duration("fail-at", 0, "virtual time of the node failure (default: half the horizon)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		promPath  = flag.String("metrics", "", "write the final Prometheus text exposition to this file")
 	)
 	flag.Parse()
 	if *failAt == 0 {
 		*failAt = *horizon / 2
 	}
-	if err := run(*wlName, *tuner, *horizon, *seed, *interval, *executors, *rateMin, *rateMax, *report, *failNode, *failAt); err != nil {
+	if err := run(*wlName, *tuner, *horizon, *seed, *interval, *executors, *rateMin, *rateMax, *report, *failNode, *failAt, *tracePath, *promPath); err != nil {
 		fmt.Fprintln(os.Stderr, "nostop-sim:", err)
 		os.Exit(1)
 	}
@@ -50,7 +60,7 @@ func main() {
 
 func run(wlName, tuner string, horizon time.Duration, seedN uint64,
 	interval time.Duration, executors int, rateMin, rateMax float64, report time.Duration,
-	failNode int, failAt time.Duration) error {
+	failNode int, failAt time.Duration, tracePath, promPath string) error {
 	seed := rng.New(seedN)
 	wl, err := workload.New(wlName)
 	if err != nil {
@@ -77,11 +87,21 @@ func run(wlName, tuner string, horizon time.Duration, seedN uint64,
 	}
 
 	clock := sim.NewClock()
+	var reg *metrics.Registry
+	if promPath != "" {
+		reg = metrics.NewRegistry()
+	}
+	var tr *tracing.Tracer
+	if tracePath != "" {
+		tr = tracing.New(clock, 0)
+	}
 	eng, err := engine.New(clock, engine.Options{
 		Workload: wl,
 		Trace:    trace,
 		Seed:     seed.Split("engine"),
 		Initial:  initial,
+		Metrics:  reg,
+		Tracer:   tr,
 	})
 	if err != nil {
 		return err
@@ -94,7 +114,7 @@ func run(wlName, tuner string, horizon time.Duration, seedN uint64,
 	var bo *baselines.BayesOpt
 	switch tuner {
 	case "nostop":
-		ctl, err = core.New(eng, core.Options{Seed: seed.Split("controller")})
+		ctl, err = core.New(eng, core.Options{Seed: seed.Split("controller"), Metrics: reg, Tracer: tr})
 		if err == nil {
 			err = ctl.Attach()
 		}
@@ -177,6 +197,47 @@ func run(wlName, tuner string, horizon time.Duration, seedN uint64,
 	}
 	if dropped := eng.DroppedByCap(); dropped > 0 {
 		fmt.Printf("  records dropped by rate cap: %d\n", dropped)
+	}
+	if promPath != "" {
+		if err := os.WriteFile(promPath, []byte(reg.String()), 0o644); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		fmt.Printf("  metrics: Prometheus exposition written to %s\n", promPath)
+	}
+	if tracePath != "" {
+		if err := writeTrace(tr, tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace serialises the trace and validates the result against the
+// Chrome trace_event schema shape, failing the run on a malformed file.
+func writeTrace(tr *tracing.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("validate trace: %w", err)
+	}
+	defer rf.Close()
+	n, err := tracing.Validate(rf)
+	if err != nil {
+		return fmt.Errorf("validate trace: %w", err)
+	}
+	fmt.Printf("  trace: %d events written to %s (schema valid)\n", n, path)
+	if d := tr.Dropped(); d > 0 {
+		fmt.Printf("  trace: %d events dropped at the %d-event cap\n", d, tracing.DefaultMaxEvents)
 	}
 	return nil
 }

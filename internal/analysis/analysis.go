@@ -94,6 +94,7 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in the position-first form the CLI prints.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }

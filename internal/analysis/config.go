@@ -81,8 +81,10 @@ func cutSuffix(s, suffix string) (string, bool) {
 //   - floateq: the numeric decision-making packages (core, spsa, engine) may
 //     not steer control flow on exact float equality; use internal/approx.
 //   - simgoroutine: internal packages stay single-threaded on the event loop;
-//     internal/listener is the one allowlisted exception (it serves concurrent
-//     readers behind a lock, off the simulation's critical path).
+//     internal/listener and internal/metrics are the allowlisted exceptions
+//     (both serve concurrent HTTP readers behind their own locks, off the
+//     simulation's critical path — the simulation side only ever touches
+//     them from the event loop).
 func DefaultConfig() *Config {
 	return &Config{
 		Scopes: map[string]Scope{
@@ -93,8 +95,11 @@ func DefaultConfig() *Config {
 				"nostop/internal/engine/...",
 			}},
 			"simgoroutine": {
-				Only:   []string{"nostop/internal/..."},
-				Exempt: []string{"nostop/internal/listener/..."},
+				Only: []string{"nostop/internal/..."},
+				Exempt: []string{
+					"nostop/internal/listener/...",
+					"nostop/internal/metrics/...",
+				},
 			},
 		},
 		Lists: map[string][]string{

@@ -9,8 +9,9 @@ import (
 // kernel owes its determinism to one goroutine draining one ordered queue;
 // concurrency inside the simulation packages would reintroduce scheduling
 // nondeterminism the whole design exists to remove. Concurrency is modelled
-// as events, not expressed with goroutines. internal/listener is exempted in
-// DefaultConfig: it serves concurrent external readers behind a lock.
+// as events, not expressed with goroutines. internal/listener and
+// internal/metrics are exempted in DefaultConfig: both serve concurrent
+// external readers behind their own locks.
 var SimGoroutine = &Analyzer{
 	Name: "simgoroutine",
 	Doc: "flag go statements and sync/sync-atomic imports in the single-threaded " +

@@ -29,6 +29,28 @@ type Record struct {
 	Time      sim.Time
 }
 
+// Observer receives notifications of broker-level log activity — the hook
+// point the observability layer (internal/metrics, internal/tracing)
+// attaches through. All callbacks run synchronously on the simulation
+// thread in deterministic event order; implementations must not mutate
+// broker state. A nil observer disables notification.
+type Observer interface {
+	// OnAppend fires after records are appended to a partition log.
+	OnAppend(topic string, partition int, n int64)
+	// OnFetch fires after a consumer-group fetch consumes n records over
+	// the given offset ranges.
+	OnFetch(topic string, n int64, ranges []OffsetRange)
+	// OnCommit fires after ranges are durably committed; n is the number
+	// of newly committed records (0 for pure re-commits).
+	OnCommit(topic string, n int64, ranges []OffsetRange)
+	// OnRewind fires when a partition's fetch position rewinds to its
+	// committed offset; redelivered is the span that will be re-fetched.
+	OnRewind(topic string, partition int, redelivered int64)
+	// OnOutage fires when a partition leader goes down (down=true) or is
+	// restored (down=false).
+	OnOutage(topic string, partition int, down bool)
+}
+
 // Partition is an append-only offset log with a bounded sample tail.
 type Partition struct {
 	Topic  string
@@ -37,6 +59,7 @@ type Partition struct {
 
 	begin, end int64 // log spans offsets [begin, end)
 	down       bool  // outage: the partition leader is unreachable
+	obs        Observer
 
 	samples    []Record // ring buffer of most recent concrete payloads
 	sampleHead int      // index of the oldest retained record once full
@@ -46,7 +69,12 @@ type Partition struct {
 // (false). While down the partition accepts produce requests — the simulated
 // outage models a consumer-side fetch failure, with the log itself durable —
 // but consumer groups cannot fetch from it.
-func (p *Partition) SetDown(down bool) { p.down = down }
+func (p *Partition) SetDown(down bool) {
+	p.down = down
+	if p.obs != nil {
+		p.obs.OnOutage(p.Topic, p.ID, down)
+	}
+}
 
 // Down reports whether the partition is currently in outage.
 func (p *Partition) Down() bool { return p.down }
@@ -58,12 +86,20 @@ func (p *Partition) Begin() int64 { return p.begin }
 func (p *Partition) End() int64 { return p.end }
 
 // appendCount appends n records without payloads.
-func (p *Partition) appendCount(n int64) { p.end += n }
+func (p *Partition) appendCount(n int64) {
+	p.end += n
+	if p.obs != nil && n > 0 {
+		p.obs.OnAppend(p.Topic, p.ID, n)
+	}
+}
 
 // appendRecord appends one concrete record, retaining it in the sample ring.
 func (p *Partition) appendRecord(key, value string, t sim.Time) Record {
 	rec := Record{Partition: p.ID, Offset: p.end, Key: key, Value: value, Time: t}
 	p.end++
+	if p.obs != nil {
+		p.obs.OnAppend(p.Topic, p.ID, 1)
+	}
 	if cap(p.samples) > 0 {
 		if len(p.samples) < cap(p.samples) {
 			p.samples = append(p.samples, rec)
@@ -110,6 +146,17 @@ type Bus struct {
 type Topic struct {
 	Name       string
 	Partitions []*Partition
+	obs        Observer
+}
+
+// SetObserver installs (or, with nil, removes) the activity observer on the
+// topic and all its partitions. Call before traffic starts; the observer is
+// not retroactive.
+func (t *Topic) SetObserver(o Observer) {
+	t.obs = o
+	for _, p := range t.Partitions {
+		p.obs = o
+	}
 }
 
 // Errors returned by bus operations.
@@ -355,6 +402,9 @@ func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
 		g.position[i] = to
 		consumed += take
 	}
+	if g.topic.obs != nil && consumed > 0 {
+		g.topic.obs.OnFetch(g.topic.Name, consumed, ranges)
+	}
 	return consumed, payloads, ranges
 }
 
@@ -362,13 +412,18 @@ func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
 // Ranges may arrive out of order (a retried batch can finish after a later
 // one); committed only moves forward.
 func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
+	var advanced int64
 	for _, r := range ranges {
 		if r.Partition < 0 || r.Partition >= len(g.committed) {
 			continue
 		}
 		if r.To > g.committed[r.Partition] {
+			advanced += r.To - g.committed[r.Partition]
 			g.committed[r.Partition] = r.To
 		}
+	}
+	if g.topic.obs != nil && len(ranges) > 0 {
+		g.topic.obs.OnCommit(g.topic.Name, advanced, ranges)
 	}
 }
 
@@ -386,6 +441,9 @@ func (g *ConsumerGroup) Rewind(partition int) int64 {
 	}
 	g.position[partition] = g.committed[partition]
 	g.redelivered += delta
+	if g.topic.obs != nil {
+		g.topic.obs.OnRewind(g.topic.Name, partition, delta)
+	}
 	return delta
 }
 

@@ -24,10 +24,12 @@ import (
 
 	"nostop/internal/approx"
 	"nostop/internal/engine"
+	"nostop/internal/metrics"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
 	"nostop/internal/spsa"
 	"nostop/internal/stats"
+	"nostop/internal/tracing"
 )
 
 // Phase is the controller's state-machine phase.
@@ -192,6 +194,14 @@ type Options struct {
 	// queue already means minutes of scheduling delay. 0 means 75s;
 	// negative disables the time-based trigger.
 	DrainDelay time.Duration
+	// Metrics, when non-nil, receives the controller's SPSA step metrics
+	// (iterations, resets, pauses, ρ, gains, estimate — see
+	// docs/METRICS.md). Instrumentation is passive and cannot perturb a
+	// seeded run.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records perturbation/measurement windows and
+	// state-machine transitions as Chrome trace_event spans.
+	Tracer *tracing.Tracer
 	// DrainThreshold is the batch-queue length that triggers emergency
 	// stabilisation: the probe is scored immediately with a
 	// queueing-projected delay and the system parks at the safe
@@ -284,6 +294,8 @@ type Controller struct {
 	pauses         int
 	attached       bool
 	totalApplied   int // configuration changes requested (Fig 8's "configure steps")
+
+	obs *ctlObs // nil when observability is disabled
 }
 
 // New builds a controller for the engine. Call Attach to start optimizing.
@@ -416,6 +428,11 @@ func New(eng *engine.Engine, opts Options) (*Controller, error) {
 		}
 	}
 	c.order = seed.Split("probe-order")
+	c.obs = newCtlObs(opts.Metrics, opts.Tracer)
+	if c.obs != nil {
+		c.obs.rho.Set(c.rho)
+		c.obs.measureWindow.Set(float64(c.measureN))
+	}
 	return c, nil
 }
 
@@ -510,6 +527,7 @@ func (c *Controller) beginIteration() error {
 	}
 	c.plusCfg = c.fromNorm(plus)
 	c.minusCfg = c.fromNorm(minus)
+	c.onPerturb()
 	c.firstIsPlus = c.order.Float64() < 0.5
 	c.measuringFirst = true
 	phase, cfg := c.firstProbe()
@@ -537,6 +555,7 @@ func (c *Controller) secondProbe() (Phase, engine.Config) {
 // first-batch exclusion when the configuration actually changes.
 func (c *Controller) apply(cfg engine.Config) error {
 	c.totalApplied++
+	c.onApply()
 	c.awaitFlag = cfg != c.eng.Config()
 	c.waited = 0
 	return c.eng.Reconfigure(cfg)
@@ -549,6 +568,7 @@ func (c *Controller) startMeasure(phase Phase, target engine.Config) {
 	c.procAcc = c.procAcc[:0]
 	c.totalAcc = c.totalAcc[:0]
 	c.e2eAcc = c.e2eAcc[:0]
+	c.onMeasureStart()
 }
 
 // maxFlagWait bounds how many completed batches we skip while waiting for
@@ -614,6 +634,7 @@ func (c *Controller) onBatch(bs engine.BatchStats) {
 		if bs.FaultActive {
 			c.inFault = true
 			c.faultBatches++
+			c.onFaultExcluded()
 			return
 		}
 		if c.inFault {
@@ -623,6 +644,7 @@ func (c *Controller) onBatch(bs engine.BatchStats) {
 			// post-recovery batches only.
 			c.inFault = false
 			c.recalibrations++
+			c.onRecalibrate()
 			c.procAcc = c.procAcc[:0]
 			c.totalAcc = c.totalAcc[:0]
 			c.e2eAcc = c.e2eAcc[:0]
@@ -656,6 +678,7 @@ func (c *Controller) onBatch(bs engine.BatchStats) {
 // maximising processing — and defers cont until the backlog has cleared.
 func (c *Controller) enterDrain(cont func()) {
 	c.drains++
+	c.onDrainEnter()
 	c.phase = PhaseDraining
 	c.afterDrain = cont
 	b := c.eng.ConfigBounds()
@@ -687,6 +710,7 @@ func (c *Controller) drain(bs engine.BatchStats) {
 	}
 	cont := c.afterDrain
 	c.afterDrain = nil
+	c.onDrainExit()
 	cont()
 }
 
@@ -713,6 +737,7 @@ func (c *Controller) rateChanged() bool {
 // ρ = ρ₀, fresh measurement window, and a new iteration begins immediately.
 func (c *Controller) reset() {
 	c.resets++
+	c.onReset()
 	c.everReset = true
 	c.lastReset = c.eng.Clock().Now()
 	if err := c.opt.Reset(c.initialNorm); err != nil {
@@ -746,6 +771,7 @@ func (c *Controller) collect(bs engine.BatchStats) {
 		total := bs.ProcessingTime.Seconds() + bs.SchedulingDelay.Seconds()
 		projected := total + float64(q)*bs.ProcessingTime.Seconds()
 		y := c.objective(c.target, projected)
+		c.onMeasureDone(y, true)
 		if c.measuringFirst {
 			c.pendingFirst = y
 			c.measuringFirst = false
@@ -773,7 +799,9 @@ func (c *Controller) collect(bs engine.BatchStats) {
 	if len(c.totalAcc) < c.measureN {
 		return
 	}
-	c.advance(c.objective(c.target, stats.Mean(c.totalAcc)))
+	y := c.objective(c.target, stats.Mean(c.totalAcc))
+	c.onMeasureDone(y, false)
+	c.advance(y)
 }
 
 // objective evaluates Eq. 3. The measured quantity compared against the
@@ -817,6 +845,7 @@ func (c *Controller) finishIteration(yPlus, yMinus float64) {
 		MeanE2E:    time.Duration(meanE2E * float64(time.Second)),
 	}
 	c.iterations = append(c.iterations, it)
+	c.onIteration(it)
 	c.noteScore(yPlus, c.plusCfg)
 	c.noteScore(yMinus, c.minusCfg)
 
@@ -854,6 +883,7 @@ func (c *Controller) finishIteration(yPlus, yMinus float64) {
 		}
 		cfg.BatchInterval = time.Duration(float64(cfg.BatchInterval) * (1 + margin)).Round(100 * time.Millisecond)
 		cfg = c.eng.ConfigBounds().Clamp(cfg)
+		c.onPause(cfg, permanent)
 		c.target = cfg
 		c.procAcc = c.procAcc[:0]
 		c.totalAcc = c.totalAcc[:0]
@@ -943,6 +973,7 @@ func (c *Controller) monitor(bs engine.BatchStats) {
 		c.sinceRestart = 0
 		c.restartAt = c.eng.Clock().Now()
 		c.measureN = c.opts.MeasureBatches
+		c.onResume("budget-hold-expired")
 		if err := c.opt.ResetAt(c.toNorm(c.target), resumeWarmK); err != nil {
 			panic(fmt.Sprintf("core: hold-expiry reset: %v", err))
 		}
@@ -982,6 +1013,7 @@ func (c *Controller) monitor(bs engine.BatchStats) {
 		c.sinceRestart = 0
 		c.restartAt = c.eng.Clock().Now()
 		c.measureN = c.opts.MeasureBatches
+		c.onResume("held-config-unstable")
 		if err := c.opt.ResetAt(c.toNorm(c.target), resumeWarmK); err != nil {
 			panic(fmt.Sprintf("core: resume reset: %v", err))
 		}

@@ -1,0 +1,215 @@
+// Controller observability: SPSA step metrics and trace spans for the
+// perturb→measure→update loop. Like the engine's instrumentation this is
+// passive — no randomness, no scheduling, no state-machine influence — so
+// an observed controller run is batch-for-batch identical to an unobserved
+// one.
+package core
+
+import (
+	"fmt"
+
+	"nostop/internal/engine"
+	"nostop/internal/metrics"
+	"nostop/internal/sim"
+	"nostop/internal/tracing"
+)
+
+// TidOptimizer is the controller lane for iteration-level events.
+const TidOptimizer = 1
+
+// TidMeasure is the controller lane for probe measurement windows.
+const TidMeasure = 2
+
+// ctlObs bundles the controller's instruments; nil disables everything.
+type ctlObs struct {
+	tr *tracing.Tracer
+
+	iterations     *metrics.Counter
+	resets         *metrics.Counter
+	pauses         *metrics.Counter
+	drains         *metrics.Counter
+	configureSteps *metrics.Counter
+	recalibrations *metrics.Counter
+	faultExcluded  *metrics.Counter
+
+	rho           *metrics.Gauge
+	measureWindow *metrics.Gauge
+	gainAk        *metrics.Gauge
+	gainCk        *metrics.Gauge
+	estInterval   *metrics.Gauge
+	estExecutors  *metrics.Gauge
+	phase         *metrics.Gauge
+
+	objective *metrics.Histogram
+
+	measureFrom sim.Time // start of the live measurement window
+}
+
+// newCtlObs registers the controller instruments; nil when both sinks are
+// absent.
+func newCtlObs(reg *metrics.Registry, tr *tracing.Tracer) *ctlObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	o := &ctlObs{
+		tr: tr,
+
+		iterations:     reg.Counter("nostop_spsa_iterations_total", "Completed SPSA iterations (two probe measurements each)"),
+		resets:         reg.Counter("nostop_spsa_resets_total", "Section 5.5 rate-change restarts of the optimization"),
+		pauses:         reg.Counter("nostop_spsa_pauses_total", "Section 5.3.5 pause-rule activations"),
+		drains:         reg.Counter("nostop_spsa_drains_total", "Emergency queue-drain episodes after destabilising probes"),
+		configureSteps: reg.Counter("nostop_spsa_configure_steps_total", "Configuration changes the controller requested (Fig 8 cost metric)"),
+		recalibrations: reg.Counter("nostop_controller_recalibrations_total", "Post-fault measurement re-calibrations (accumulators dropped)"),
+		faultExcluded:  reg.Counter("nostop_controller_fault_batches_excluded_total", "Batches kept out of SPSA measurements by failure-aware admission"),
+
+		rho:           reg.Gauge("nostop_spsa_rho", "Current Eq. 3 penalty coefficient"),
+		measureWindow: reg.Gauge("nostop_spsa_measure_window_batches", "Current probe measurement window (batches)"),
+		gainAk:        reg.Gauge("nostop_spsa_gain_ak", "Current SPSA step gain a_k"),
+		gainCk:        reg.Gauge("nostop_spsa_gain_ck", "Current SPSA perturbation gain c_k"),
+		estInterval:   reg.Gauge("nostop_spsa_estimate_interval_seconds", "Batch interval of the current SPSA estimate"),
+		estExecutors:  reg.Gauge("nostop_spsa_estimate_executors", "Executor count of the current SPSA estimate"),
+		phase:         reg.Gauge("nostop_controller_phase", "Controller state-machine phase (0 measure+, 1 measure-, 2 paused, 3 draining)"),
+
+		objective: reg.Histogram("nostop_spsa_objective_seconds", "Measured probe objective G (Eq. 3)", metrics.DelaySecondsBuckets()),
+	}
+	tr.NameProcess(engine.PidController, "nostop-controller")
+	tr.NameThread(engine.PidController, TidOptimizer, "spsa-optimizer")
+	tr.NameThread(engine.PidController, TidMeasure, "probe-measurement")
+	return o
+}
+
+// onPerturb records the θ⁺/θ⁻ pair of a new iteration.
+func (c *Controller) onPerturb() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "perturb",
+		tracing.Args{"theta_plus": c.plusCfg.String(), "theta_minus": c.minusCfg.String()})
+}
+
+// onApply records one configuration-change request.
+func (c *Controller) onApply() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.configureSteps.Inc()
+}
+
+// onMeasureStart marks the opening of a probe measurement window.
+func (c *Controller) onMeasureStart() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.measureFrom = c.eng.Clock().Now()
+	o.phase.Set(float64(c.phase))
+	o.measureWindow.Set(float64(c.measureN))
+}
+
+// onMeasureDone closes a probe measurement window with its objective value;
+// emergency marks a window scored early because the probe destabilised the
+// system.
+func (c *Controller) onMeasureDone(y float64, emergency bool) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.objective.Observe(y)
+	now := c.eng.Clock().Now()
+	o.tr.Span(engine.PidController, TidMeasure, "spsa", fmt.Sprintf("measure %s", c.phase),
+		o.measureFrom, now-o.measureFrom,
+		tracing.Args{"target": c.target.String(), "objective_s": y,
+			"batches": len(c.totalAcc), "emergency": emergency})
+}
+
+// onIteration records a completed SPSA update.
+func (c *Controller) onIteration(it Iteration) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.iterations.Inc()
+	o.rho.Set(it.Rho)
+	o.estInterval.Set(it.Estimate.BatchInterval.Seconds())
+	o.estExecutors.Set(float64(it.Estimate.Executors))
+	ak, ck := c.opt.Gains()
+	o.gainAk.Set(ak)
+	o.gainCk.Set(ck)
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", fmt.Sprintf("iteration %d", it.K),
+		tracing.Args{"y_plus": it.YPlus, "y_minus": it.YMinus,
+			"estimate": it.Estimate.String(), "rho": it.Rho})
+}
+
+// onReset records a §5.5 rate-change restart.
+func (c *Controller) onReset() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.resets.Inc()
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "reset",
+		tracing.Args{"rate_mean": c.eng.RecentRateMean(), "rate_std": c.eng.RecentRateStd()})
+}
+
+// onPause records a pause-rule activation and the configuration held.
+func (c *Controller) onPause(cfg engine.Config, permanent bool) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.pauses.Inc()
+	o.phase.Set(float64(PhasePaused))
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "pause",
+		tracing.Args{"held": cfg.String(), "permanent": permanent})
+}
+
+// onResume records the search re-opening from a pause.
+func (c *Controller) onResume(reason string) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "resume",
+		tracing.Args{"reason": reason})
+}
+
+// onDrainEnter records the start of an emergency stabilisation episode.
+func (c *Controller) onDrainEnter() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.drains.Inc()
+	o.phase.Set(float64(PhaseDraining))
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "drain-enter",
+		tracing.Args{"queue": c.eng.QueueLen()})
+}
+
+// onDrainExit records the backlog clearing.
+func (c *Controller) onDrainExit() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", "drain-exit", nil)
+}
+
+// onFaultExcluded records one batch kept out of measurement by
+// failure-aware admission.
+func (c *Controller) onFaultExcluded() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.faultExcluded.Inc()
+}
+
+// onRecalibrate records a post-fault accumulator reset.
+func (c *Controller) onRecalibrate() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.recalibrations.Inc()
+	o.tr.Instant(engine.PidController, TidMeasure, "spsa", "recalibrate", nil)
+}

@@ -28,10 +28,12 @@ import (
 	"nostop/internal/approx"
 	"nostop/internal/broker"
 	"nostop/internal/cluster"
+	"nostop/internal/metrics"
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
 	"nostop/internal/stats"
+	"nostop/internal/tracing"
 	"nostop/internal/workload"
 )
 
@@ -226,6 +228,15 @@ type Options struct {
 	ShedFactor float64
 	// ShedDuration is how long an emergency shed cap holds. 0 means 60s.
 	ShedDuration time.Duration
+
+	// Metrics, when non-nil, receives the engine's counters, gauges, and
+	// delay histograms (see docs/METRICS.md). Instrumentation is passive:
+	// it consumes no randomness and schedules no events, so observed and
+	// unobserved same-seed runs produce identical batch histories.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records the batch/task lifecycle as Chrome
+	// trace_event spans on the simulation clock.
+	Tracer *tracing.Tracer
 }
 
 // DefaultConfig is the untuned starting configuration used as the Fig 7
@@ -290,6 +301,8 @@ type Engine struct {
 	failedRecords  int64
 	shedEvents     int
 	listenerPanics int
+
+	obs *obsState // nil when observability is disabled
 }
 
 type batch struct {
@@ -302,6 +315,7 @@ type batch struct {
 	first      bool
 	faulty     bool
 	attempts   int
+	tasks      int // task count of the latest attempt (blocks per batch)
 	speculated bool
 }
 
@@ -434,6 +448,13 @@ func New(clock *sim.Clock, opts Options) (*Engine, error) {
 		rates:       stats.NewWindow(windowTicks),
 		ingestCap:   opts.IngestCap,
 	}
+	e.obs = newObsState(opts.Metrics, opts.Tracer)
+	if e.obs != nil {
+		topic.SetObserver(e.obs)
+		e.obs.cfgInterval.Set(e.cfg.BatchInterval.Seconds())
+		e.obs.cfgExecutors.Set(float64(e.cfg.Executors))
+		e.obs.liveExecutors.Set(float64(len(e.execs)))
+	}
 	return e, nil
 }
 
@@ -474,6 +495,7 @@ func (e *Engine) producerTick() {
 		allowed := cap * elapsed
 		if n-e.fracCarry > allowed {
 			e.droppedByCap += int64(n - e.fracCarry - allowed)
+			e.onDropped(n - e.fracCarry - allowed)
 			n = allowed + e.fracCarry
 		}
 	}
@@ -530,6 +552,7 @@ func (e *Engine) cutBatch() {
 	e.markFirst = false
 	e.nextID++
 	e.queue = append(e.queue, b)
+	e.onBatchCut(b)
 	e.trySchedule()
 
 	// Apply a pending configuration at the boundary, then schedule the
@@ -554,6 +577,7 @@ func (e *Engine) applyConfig(cfg Config) {
 	}
 	e.reconfigs++
 	e.markFirst = true
+	e.onReconfigure(cfg)
 }
 
 // trySchedule starts the head-of-queue batch if the engine is idle. With no
@@ -594,6 +618,7 @@ func (e *Engine) runAttempt(b *batch, start sim.Time) {
 	if tasks < 1 {
 		tasks = 1
 	}
+	b.tasks = tasks
 	capPar := func(p float64) float64 {
 		if maxPar := float64(e.opts.Partitions); p > maxPar {
 			p = maxPar // task parallelism cannot exceed partition count
@@ -625,6 +650,7 @@ func (e *Engine) runAttempt(b *batch, start sim.Time) {
 				proc = time.Duration(float64(proc) * (1 + e.opts.SpeculativeOverhead))
 				b.speculated = true
 				e.speculations++
+				e.onSpeculation(b)
 			} else {
 				proc = degraded
 			}
@@ -678,6 +704,7 @@ func (e *Engine) hostedMaxSlowdown() float64 {
 func (e *Engine) finishAttempt(b *batch, start sim.Time, proc time.Duration) {
 	b.attempts++
 	if e.taskFail > 0 && e.faultRng.Float64() < e.taskFail {
+		e.onAttempt(b, start, proc, true)
 		if b.attempts >= e.opts.TaskMaxFailures {
 			e.failBatch(b)
 			return
@@ -687,6 +714,7 @@ func (e *Engine) finishAttempt(b *batch, start sim.Time, proc time.Duration) {
 		if backoff > e.opts.RetryBackoffMax {
 			backoff = e.opts.RetryBackoffMax
 		}
+		e.onRetry(b, backoff)
 		// The job releases the scheduler during the backoff; the batch
 		// requeues at the head so it is retried before younger batches.
 		e.busy = false
@@ -708,11 +736,13 @@ func (e *Engine) failBatch(b *batch) {
 	e.failedBatches++
 	e.failedRecords += b.records
 	e.busy = false
+	e.onBatchFailed(b)
 	if e.opts.ShedFactor >= 0 {
 		if mean := e.rates.Mean(); mean > 0 {
 			e.shedRate = e.opts.ShedFactor * mean
 			e.shedUntil = e.clock.Now() + sim.Time(e.opts.ShedDuration)
 			e.shedEvents++
+			e.onShed(e.shedRate, e.shedUntil)
 		}
 	}
 	e.trySchedule()
@@ -749,6 +779,8 @@ func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 		QueueLen:           len(e.queue),
 		Semantic:           result,
 	}
+	e.onAttempt(b, start, proc, false)
+	e.onBatchComplete(b, bs)
 	if len(e.history) < e.historyCap {
 		e.history = append(e.history, bs)
 	}
@@ -921,6 +953,7 @@ func (e *Engine) reallocate() {
 	}
 	e.setupOwed = true
 	e.markFirst = true
+	e.onReallocate()
 	e.trySchedule()
 }
 

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/faults"
+	"nostop/internal/metrics"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/tracing"
+	"nostop/internal/workload"
+)
+
+// runObserved drives a chaos run with the full observability layer attached
+// (metrics registry, tracer, fault-injector sinks) and returns the batch
+// history, the Prometheus exposition, and the serialized trace. observe=false
+// runs the identical simulation with every sink nil.
+func runObserved(t *testing.T, horizon time.Duration, observe bool) (history, prom, trace string) {
+	t.Helper()
+	wl, err := workload.New("logreg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := rng.New(7).Split("det")
+	clock := sim.NewClock()
+	var reg *metrics.Registry
+	var tr *tracing.Tracer
+	if observe {
+		reg = metrics.NewRegistry()
+		tr = tracing.New(clock, 0)
+	}
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    bandTrace(wl, seed.Split("trace")),
+		Seed:     seed.Split("engine"),
+		Initial:  engine.DefaultConfig(),
+		Metrics:  reg,
+		Tracer:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.Attach(eng, ChaosPlan(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observe {
+		inj.Observe(reg, tr)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.New(eng, core.Options{Seed: rng.New(7).Split("controller"), Metrics: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(sim.Time(horizon))
+	if len(eng.History()) == 0 {
+		t.Fatal("run completed no batches")
+	}
+	history = fmt.Sprintf("%+v", eng.History())
+	if observe {
+		prom = reg.String()
+		var buf strings.Builder
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		trace = buf.String()
+	}
+	return history, prom, trace
+}
+
+// TestObservabilityByteIdentical extends the determinism contract to the
+// observability exports: two same-seed runs must serialize byte-identical
+// Prometheus expositions and byte-identical Chrome trace JSON.
+func TestObservabilityByteIdentical(t *testing.T) {
+	const horizon = 25 * time.Minute
+	_, prom1, trace1 := runObserved(t, horizon, true)
+	_, prom2, trace2 := runObserved(t, horizon, true)
+
+	if prom1 == "" || trace1 == "" {
+		t.Fatal("observed run produced empty exports")
+	}
+	if prom1 != prom2 {
+		t.Errorf("Prometheus expositions differ across same-seed runs; %s", firstDiff(prom1, prom2))
+	}
+	if trace1 != trace2 {
+		t.Errorf("trace files differ across same-seed runs; %s", firstDiff(trace1, trace2))
+	}
+	if n, err := tracing.Validate(strings.NewReader(trace1)); err != nil {
+		t.Errorf("trace failed schema validation: %v", err)
+	} else if n == 0 {
+		t.Error("trace contains no events")
+	}
+	// The exposition must cover every acceptance-criteria quantity.
+	for _, name := range []string{
+		"nostop_batch_e2e_delay_seconds_bucket",
+		"nostop_batch_processing_seconds_bucket",
+		"nostop_batch_queue_length",
+		"nostop_task_retries_total",
+		"nostop_broker_redeliveries_total",
+		"nostop_spsa_iterations_total",
+		"nostop_faults_injected_total",
+	} {
+		if !strings.Contains(prom1, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+// TestObservabilityIsPassive asserts the zero-perturbation contract: the
+// batch history of an instrumented run is byte-identical to an
+// uninstrumented run of the same seed. Instrumentation that consumed
+// randomness or scheduled events would shift the history and silently
+// invalidate every recorded experiment.
+func TestObservabilityIsPassive(t *testing.T) {
+	const horizon = 25 * time.Minute
+	plain, _, _ := runObserved(t, horizon, false)
+	observed, _, _ := runObserved(t, horizon, true)
+	if plain != observed {
+		t.Errorf("instrumentation perturbed the batch history; %s", firstDiff(plain, observed))
+	}
+}

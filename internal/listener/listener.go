@@ -2,6 +2,23 @@
 // architecture (Fig 4): it observes completed batches, renders each as a
 // JSON status report, and serves live system status over HTTP so external
 // tooling can watch the optimization without touching the engine.
+//
+// # Synchronisation contract
+//
+// The Collector sits between two worlds: the single-threaded simulation
+// kernel appends reports from its thread via the engine Listener callback,
+// while HTTP handlers read from server goroutines. The report buffer is
+// guarded by an RWMutex, so Reports, Latest, and the report-derived half of
+// Status are always internally consistent. Status additionally reads live
+// engine state (Config, QueueLen, Lag, rate window) WITHOUT holding the
+// engine still: callers that need the engine frozen while serving — any
+// real HTTP deployment against a running simulation — must serialise
+// handler execution against clock advancement externally, as
+// cmd/nostop-listen does with a lock middleware around every request.
+// Under that discipline /status and /metrics observe identical state:
+// Status.Batches, the legacy nostop_batches_total gauge, and the attached
+// registry's nostop_batches_completed_total counter all agree after every
+// batch (asserted by TestMetricsStatusAgree).
 package listener
 
 import (
@@ -12,6 +29,7 @@ import (
 	"sync"
 
 	"nostop/internal/engine"
+	"nostop/internal/metrics"
 	"nostop/internal/stats"
 )
 
@@ -71,6 +89,7 @@ type Collector struct {
 	mu      sync.RWMutex
 	reports []BatchReport
 	maxKeep int
+	reg     *metrics.Registry
 }
 
 // NewCollector attaches a collector to the engine. maxKeep bounds retained
@@ -85,6 +104,24 @@ func NewCollector(eng *engine.Engine, maxKeep int) (*Collector, error) {
 	c := &Collector{eng: eng, maxKeep: maxKeep}
 	eng.AddListener(engine.ListenerFunc(c.onBatch))
 	return c, nil
+}
+
+// SetRegistry attaches a metrics registry whose full Prometheus exposition
+// is prepended to /metrics ahead of the collector's legacy summary gauges.
+// Attach the same registry the engine and controller write to (their
+// Options.Metrics) so /metrics covers batch delay histograms, task
+// retries, broker redeliveries, and SPSA step metrics; nil detaches.
+func (c *Collector) SetRegistry(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+}
+
+// Registry returns the attached metrics registry (nil when detached).
+func (c *Collector) Registry() *metrics.Registry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.reg
 }
 
 func (c *Collector) onBatch(bs engine.BatchStats) {
@@ -146,12 +183,18 @@ func (c *Collector) Status() Status {
 //	GET /status          live Status JSON
 //	GET /batches         all retained reports (?last=N for the tail)
 //	GET /batches/latest  the most recent report
-//	GET /metrics         Prometheus text exposition of the same gauges
+//	GET /metrics         Prometheus text exposition: the attached registry
+//	                     (SetRegistry) followed by the legacy summary gauges
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Status()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg := c.Registry(); reg != nil {
+			if err := reg.WritePrometheus(w); err != nil {
+				return // client went away mid-write; nothing to salvage
+			}
+		}
 		for _, m := range []struct {
 			name, help string
 			value      float64

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"nostop/internal/engine"
+	"nostop/internal/metrics"
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
@@ -232,6 +234,83 @@ func TestHTTPLatestEmpty404(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 404 {
 		t.Fatalf("code %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsStatusAgree asserts the synchronisation contract in the package
+// comment: with the clock stopped, /status Batches, the legacy
+// nostop_batches_total gauge, and the attached registry's
+// nostop_batches_completed_total counter report the same batch count.
+func TestMetricsStatusAgree(t *testing.T) {
+	clock := sim.NewClock()
+	reg := metrics.NewRegistry()
+	eng, err := engine.New(clock, engine.Options{
+		Workload: workload.NewWordCount(),
+		Trace:    ratetrace.Constant{Rate: 50000},
+		Seed:     rng.New(3),
+		Initial:  engine.Config{BatchInterval: 5 * time.Second, Executors: 8},
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(eng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.SetRegistry(reg)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(sim.Time(120 * time.Second))
+
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	var st Status
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Batches == 0 {
+		t.Fatal("/status shows no batches")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pull a sample value out of the exposition by metric name.
+	sample := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(string(body), "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("unparsable sample %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("/metrics missing %s:\n%s", name, body)
+		return 0
+	}
+
+	if legacy := sample("nostop_batches_total"); legacy != float64(st.Batches) {
+		t.Errorf("legacy gauge %v != status batches %d", legacy, st.Batches)
+	}
+	if completed := sample("nostop_batches_completed_total"); completed != float64(st.Batches) {
+		t.Errorf("registry counter %v != status batches %d", completed, st.Batches)
 	}
 }
 

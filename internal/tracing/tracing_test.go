@@ -1,0 +1,134 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/sim"
+)
+
+// buildTrace records one event of each phase on a fresh clock.
+func buildTrace(maxEvents int) *Tracer {
+	clock := sim.NewClock()
+	tr := New(clock, maxEvents)
+	tr.NameProcess(1, "engine")
+	tr.NameThread(1, 2, "executors")
+	clock.At(5*sim.Time(time.Second), func() {
+		tr.Instant(1, 2, "engine", "cut batch 0", Args{"records": 100})
+		tr.Counter(1, "queue", Args{"batches": 1})
+		tr.Span(1, 2, "engine", "batch 0", clock.Now(), 2*time.Second, Args{"attempt": 1})
+	})
+	clock.RunUntil(10 * sim.Time(time.Second))
+	return tr
+}
+
+// TestWriteJSONValidates checks the emitted file parses as a Chrome
+// trace_event object and round-trips through Validate with the right count.
+func TestWriteJSONValidates(t *testing.T) {
+	tr := buildTrace(0)
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Validate: %v\ntrace:\n%s", err, buf.String())
+	}
+	if n != tr.Len() {
+		t.Errorf("Validate counted %d events, tracer recorded %d", n, tr.Len())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"displayTimeUnit":"ms"`,
+		`"name":"cut batch 0"`,
+		`"ph":"X"`,
+		`"ts":5000000`, // 5 s in µs
+		`"dur":2000000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteJSONByteIdentical checks that two identical recordings serialize
+// byte for byte — the trace half of the determinism contract.
+func TestWriteJSONByteIdentical(t *testing.T) {
+	var a, b strings.Builder
+	if err := buildTrace(0).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace(0).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same recordings serialized differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestEventCap checks the cap counts drops instead of growing the buffer.
+func TestEventCap(t *testing.T) {
+	tr := buildTrace(3)
+	if tr.Len() != 3 {
+		t.Errorf("Len() = %d, want 3 (capped)", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", tr.Dropped())
+	}
+}
+
+// TestNegativeDurationClamped checks an out-of-order span cannot emit a
+// negative duration (which viewers reject).
+func TestNegativeDurationClamped(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 0)
+	tr.Span(1, 1, "c", "s", 0, -time.Second, nil)
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("clamped span failed validation: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"dur":0`) {
+		t.Errorf("negative duration not clamped to 0:\n%s", buf.String())
+	}
+}
+
+// TestNilTracerIsNoop checks the nil-sink contract instrumented code relies
+// on.
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Span(1, 1, "c", "s", 0, time.Second, nil)
+	tr.Instant(1, 1, "c", "i", nil)
+	tr.Counter(1, "n", nil)
+	tr.NameProcess(1, "p")
+	tr.NameThread(1, 1, "t")
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer accumulated state")
+	}
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("nil tracer's empty file failed validation: %v", err)
+	}
+}
+
+// TestValidateRejectsMalformed pins the checks `make trace` relies on.
+func TestValidateRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":       "nonsense",
+		"no traceEvents": `{"other": []}`,
+		"unnamed event":  `{"traceEvents":[{"name":"","ph":"i","ts":0,"pid":1,"tid":1}]}`,
+		"unknown phase":  `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
+		"X without dur":  `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`,
+	} {
+		if _, err := Validate(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Validate accepted %s", name, doc)
+		}
+	}
+}
