@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench trace verify
+.PHONY: build vet test race chaos bench fleet trace verify
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,18 @@ race:
 chaos:
 	$(GO) run ./cmd/nostop-chaos
 
+## bench: quick table regeneration plus the fleet scaling benchmark, which
+## writes BENCH_fleet.json (32-job sweep timed at -j 1 vs -j NumCPU).
 bench:
 	$(GO) run ./cmd/nostop-bench -quick
+	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json
+
+## fleet: small parallel sweep with resume — the nostop-fleet smoke path.
+fleet:
+	$(GO) run ./cmd/nostop-fleet -workloads logreg,wordcount -controllers static,nostop \
+		-seeds 1-3 -horizon 10m -j 4 -out /tmp/nostop-fleet
+	$(GO) run ./cmd/nostop-fleet -workloads logreg,wordcount -controllers static,nostop \
+		-seeds 1-3 -horizon 10m -j 4 -out /tmp/nostop-fleet -resume -quiet
 
 ## trace: short observed run; nostop-sim validates the emitted file against
 ## the Chrome trace_event schema shape and exits non-zero if it is malformed.

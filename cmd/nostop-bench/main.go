@@ -9,13 +9,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"nostop/internal/experiments"
+	"nostop/internal/fleet"
 )
 
 var registry = map[string]func(experiments.Config) (*experiments.Table, error){
@@ -46,7 +50,7 @@ func names() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(append([]string{"all", "table2"}, keys...), ", ")
+	return strings.Join(append([]string{"all", "table2", "fleet"}, keys...), ", ")
 }
 
 func main() {
@@ -57,6 +61,7 @@ func main() {
 		horizon = flag.Duration("horizon", 0, "virtual run duration (0: 2h)")
 		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		bench   = flag.String("benchout", "BENCH_fleet.json", "output path for -experiment fleet")
 	)
 	flag.Parse()
 
@@ -78,6 +83,11 @@ func main() {
 		}
 	case "table2":
 		emit(experiments.Table2(), *csv)
+	case "fleet":
+		if err := runFleetBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
 	default:
 		fn, ok := registry[*name]
 		if !ok {
@@ -99,4 +109,75 @@ func emit(t *experiments.Table, csv bool) {
 		return
 	}
 	t.Render(os.Stdout)
+}
+
+// fleetBenchResult is the BENCH_fleet.json payload: a fixed 32-job sweep
+// timed serially and at full parallelism. The manifests_identical field
+// doubles as a determinism check — the speedup must come for free.
+type fleetBenchResult struct {
+	Jobs               int     `json:"jobs"`
+	NumCPU             int     `json:"numcpu"`
+	ParallelismHigh    int     `json:"parallelism_high"`
+	WallSecondsJ1      float64 `json:"wall_seconds_j1"`
+	WallSecondsJN      float64 `json:"wall_seconds_jn"`
+	Speedup            float64 `json:"speedup"`
+	ManifestsIdentical bool    `json:"manifests_identical"`
+}
+
+// runFleetBench times the fleet benchmark sweep at -j 1 vs -j NumCPU and
+// writes the result JSON. The sweep itself is fixed (4 workloads x 8 seeds,
+// static controller, 20m horizon = 32 jobs) so numbers are comparable
+// across machines; the speedup reflects the host's core count.
+func runFleetBench(outPath string) error {
+	spec := fleet.Spec{
+		Name:        "bench-fleet",
+		Seeds:       []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		Workloads:   []string{"logreg", "linreg", "wordcount", "pageanalyze"},
+		Controllers: []string{fleet.ControllerStatic},
+		Horizon:     fleet.Duration(20 * time.Minute),
+		Warmup:      0.5,
+	}
+	run := func(j int) (manifest []byte, wall float64, err error) {
+		start := time.Now()
+		rep, err := fleet.Run(spec, fleet.Options{Parallelism: j})
+		if err != nil {
+			return nil, 0, err
+		}
+		wall = time.Since(start).Seconds()
+		manifest, err = rep.Manifest.Encode()
+		return manifest, wall, err
+	}
+	m1, t1, err := run(1)
+	if err != nil {
+		return err
+	}
+	// Floor at 2 so the worker-pool path (and its determinism) is always
+	// exercised, even on a single-core host where the speedup is ~1.
+	jn := runtime.NumCPU()
+	if jn < 2 {
+		jn = 2
+	}
+	mn, tn, err := run(jn)
+	if err != nil {
+		return err
+	}
+	res := fleetBenchResult{
+		Jobs:               len(spec.Seeds) * len(spec.Workloads),
+		NumCPU:             runtime.NumCPU(),
+		ParallelismHigh:    jn,
+		WallSecondsJ1:      t1,
+		WallSecondsJN:      tn,
+		Speedup:            t1 / tn,
+		ManifestsIdentical: string(m1) == string(mn),
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("fleet bench: %d jobs, j=1 %.1fs, j=%d %.1fs, speedup %.2fx, manifests identical: %v -> %s\n",
+		res.Jobs, t1, jn, tn, res.Speedup, res.ManifestsIdentical, outPath)
+	return nil
 }

@@ -84,7 +84,11 @@ func cutSuffix(s, suffix string) (string, bool) {
 //     internal/listener and internal/metrics are the allowlisted exceptions
 //     (both serve concurrent HTTP readers behind their own locks, off the
 //     simulation's critical path — the simulation side only ever touches
-//     them from the event loop).
+//     them from the event loop). internal/fleet and cmd/nostop-fleet are also
+//     exempt: the fleet runner's worker pool lives *outside* the simulation —
+//     each worker goroutine runs a complete, independent single-threaded
+//     simulation on its own clock, and results merge deterministically by
+//     job index, so fleet concurrency can never reorder events inside a run.
 func DefaultConfig() *Config {
 	return &Config{
 		Scopes: map[string]Scope{
@@ -99,6 +103,11 @@ func DefaultConfig() *Config {
 				Exempt: []string{
 					"nostop/internal/listener/...",
 					"nostop/internal/metrics/...",
+					"nostop/internal/fleet/...",
+					// cmd packages sit outside Only already; the explicit
+					// entry documents that the fleet CLI's concurrency is
+					// sanctioned, not merely unchecked.
+					"nostop/cmd/nostop-fleet/...",
 				},
 			},
 		},

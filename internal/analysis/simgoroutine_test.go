@@ -10,3 +10,29 @@ import (
 func TestSimGoroutine(t *testing.T) {
 	analysistest.Run(t, analysis.SimGoroutine, "simgoroutine", nil)
 }
+
+// TestSimGoroutineFleetAllowlist loads the same goroutine-launching fixture
+// under different import paths and checks DefaultConfig's verdicts: a
+// goroutine in a sim-core package is still a finding, while the identical
+// code in the exempted fleet orchestration packages passes.
+func TestSimGoroutineFleetAllowlist(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	cases := []struct {
+		path string
+		want bool // true: findings expected
+	}{
+		{"nostop/internal/core", true},
+		{"nostop/internal/engine", true},
+		{"nostop/internal/fleet", false},
+		{"nostop/cmd/nostop-fleet", false},
+	}
+	for _, tc := range cases {
+		diags := analysistest.Diagnostics(t, analysis.SimGoroutine, "simgoroutine", tc.path, cfg)
+		if tc.want && len(diags) == 0 {
+			t.Errorf("%s: goroutine in a sim-core package produced no finding", tc.path)
+		}
+		if !tc.want && len(diags) != 0 {
+			t.Errorf("%s: allowlisted fleet package still flagged: %v", tc.path, diags)
+		}
+	}
+}

@@ -22,15 +22,19 @@ import (
 // drowned, and repetition averaging keeps single-seed luck from inverting
 // conclusions.
 func ablationRun(cfg Config, seed *rng.Stream, mutate func(*core.Options)) (e2e, iters, drains float64, err error) {
-	var e2es, its, drs []float64
-	for rep := 0; rep < cfg.Repetitions; rep++ {
+	n := cfg.Repetitions
+	e2es, its, drs := make([]float64, n), make([]float64, n), make([]float64, n)
+	if err := cfg.parallelFor(n, func(rep int) error {
 		res, err := runNoStop("wordcount", nil, cfg.Horizon, seed.Split(fmt.Sprintf("rep-%d", rep)), mutate)
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
-		e2es = append(e2es, stats.Mean(res.tailE2E(cfg.Warmup)))
-		its = append(its, float64(len(res.ctl.Iterations())))
-		drs = append(drs, float64(res.ctl.Drains()))
+		e2es[rep] = stats.Mean(res.tailE2E(cfg.Warmup))
+		its[rep] = float64(len(res.ctl.Iterations()))
+		drs[rep] = float64(res.ctl.Drains())
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
 	}
 	return stats.Mean(e2es), stats.Mean(its), stats.Mean(drs), nil
 }
@@ -141,17 +145,21 @@ func AblationReset(cfg Config) (*Table, error) {
 		{"reset enabled (paper)", nil},
 		{"reset disabled", func(o *core.Options) { o.RateStdThreshold = -1 }},
 	} {
-		var e2es, resets, drains []float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
+		n := cfg.Repetitions
+		e2es, resets, drains := make([]float64, n), make([]float64, n), make([]float64, n)
+		if err := cfg.parallelFor(n, func(rep int) error {
 			res, err := runNoStop("wordcount", surge(), cfg.Horizon,
 				seed.Split(fmt.Sprintf("%s-%d", v.name, rep)), v.mutate)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Post-surge steady state: the last quarter of the run.
-			e2es = append(e2es, stats.Mean(res.tailE2E(0.75)))
-			resets = append(resets, float64(res.ctl.Resets()))
-			drains = append(drains, float64(res.ctl.Drains()))
+			e2es[rep] = stats.Mean(res.tailE2E(0.75))
+			resets[rep] = float64(res.ctl.Resets())
+			drains[rep] = float64(res.ctl.Drains())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{v.name, fmt.Sprintf("%.2f", stats.Mean(e2es)),
 			fmt.Sprintf("%.1f", stats.Mean(resets)), fmt.Sprintf("%.1f", stats.Mean(drains))})
@@ -274,81 +282,97 @@ func BackPressure(cfg Config) (*Table, error) {
 		return clock, eng, eng.Start()
 	}
 
-	// Plain overloaded run (no controller): diverges.
-	{
-		s := seed.Split("plain")
-		clock, eng, err := build(s)
-		if err != nil {
-			return nil, err
-		}
-		clock.RunUntil(sim.Time(horizon))
-		r := &runResult{history: eng.History(), eng: eng}
-		t.Rows = append(t.Rows, []string{
-			"no controller (unstable)",
-			fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
-			fmt.Sprintf("%d", eng.QueueLen()),
-			"0",
-			fmt.Sprintf("%.0f", throughput(eng, horizon)),
-		})
+	// The three variants are independent runs: fan them out, each writing
+	// only its own row slot so the table order stays fixed.
+	variants := []func() ([]string, error){
+		// Plain overloaded run (no controller): diverges.
+		func() ([]string, error) {
+			s := seed.Split("plain")
+			clock, eng, err := build(s)
+			if err != nil {
+				return nil, err
+			}
+			clock.RunUntil(sim.Time(horizon))
+			r := &runResult{history: eng.History(), eng: eng}
+			return []string{
+				"no controller (unstable)",
+				fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
+				fmt.Sprintf("%d", eng.QueueLen()),
+				"0",
+				fmt.Sprintf("%.0f", throughput(eng, horizon)),
+			}, nil
+		},
+		// Back pressure on the same fixed configuration.
+		func() ([]string, error) {
+			s := seed.Split("bp")
+			clock, eng, err := build(s)
+			if err != nil {
+				return nil, err
+			}
+			bp, err := baselines.NewBackPressure(eng, baselines.BPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if err := bp.Attach(); err != nil {
+				return nil, err
+			}
+			clock.RunUntil(sim.Time(horizon))
+			r := &runResult{history: eng.History(), eng: eng}
+			return []string{
+				"back pressure (PID)",
+				fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
+				fmt.Sprintf("%d", eng.QueueLen()),
+				fmt.Sprintf("%d", eng.DroppedByCap()),
+				fmt.Sprintf("%.0f", throughput(eng, horizon)),
+			}, nil
+		},
+		// NoStop from the same overloaded start.
+		func() ([]string, error) {
+			s := seed.Split("nostop")
+			clock := sim.NewClock()
+			wl := workload.NewLogisticRegression()
+			eng, err := engine.New(clock, engine.Options{
+				Workload: wl,
+				Trace:    bandTrace(wl, s),
+				Seed:     s.Split("engine"),
+				Initial:  overloaded,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ctl, err := core.New(eng, core.Options{Seed: s.Split("controller")})
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Start(); err != nil {
+				return nil, err
+			}
+			if err := ctl.Attach(); err != nil {
+				return nil, err
+			}
+			clock.RunUntil(sim.Time(horizon))
+			r := &runResult{history: eng.History(), eng: eng, ctl: ctl}
+			return []string{
+				"NoStop (SPSA)",
+				fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
+				fmt.Sprintf("%d", eng.QueueLen()),
+				"0",
+				fmt.Sprintf("%.0f", throughput(eng, horizon)),
+			}, nil
+		},
 	}
-	// Back pressure on the same fixed configuration.
-	{
-		s := seed.Split("bp")
-		clock, eng, err := build(s)
+	rows := make([][]string, len(variants))
+	if err := cfg.parallelFor(len(variants), func(i int) error {
+		row, err := variants[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bp, err := baselines.NewBackPressure(eng, baselines.BPOptions{})
-		if err != nil {
-			return nil, err
-		}
-		if err := bp.Attach(); err != nil {
-			return nil, err
-		}
-		clock.RunUntil(sim.Time(horizon))
-		r := &runResult{history: eng.History(), eng: eng}
-		t.Rows = append(t.Rows, []string{
-			"back pressure (PID)",
-			fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
-			fmt.Sprintf("%d", eng.QueueLen()),
-			fmt.Sprintf("%d", eng.DroppedByCap()),
-			fmt.Sprintf("%.0f", throughput(eng, horizon)),
-		})
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	// NoStop from the same overloaded start.
-	{
-		s := seed.Split("nostop")
-		clock := sim.NewClock()
-		wl := workload.NewLogisticRegression()
-		eng, err := engine.New(clock, engine.Options{
-			Workload: wl,
-			Trace:    bandTrace(wl, s),
-			Seed:     s.Split("engine"),
-			Initial:  overloaded,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ctl, err := core.New(eng, core.Options{Seed: s.Split("controller")})
-		if err != nil {
-			return nil, err
-		}
-		if err := eng.Start(); err != nil {
-			return nil, err
-		}
-		if err := ctl.Attach(); err != nil {
-			return nil, err
-		}
-		clock.RunUntil(sim.Time(horizon))
-		r := &runResult{history: eng.History(), eng: eng, ctl: ctl}
-		t.Rows = append(t.Rows, []string{
-			"NoStop (SPSA)",
-			fmt.Sprintf("%.2f", stats.Mean(r.tailE2E(cfg.Warmup))),
-			fmt.Sprintf("%d", eng.QueueLen()),
-			"0",
-			fmt.Sprintf("%.0f", throughput(eng, horizon)),
-		})
-	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"back pressure holds delay down by throttling input (lost throughput); NoStop reconfigures and absorbs the full stream")
 	return t, nil

@@ -19,6 +19,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"nostop/internal/cluster"
 	"nostop/internal/core"
 	"nostop/internal/engine"
+	"nostop/internal/fleet"
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
@@ -46,6 +48,12 @@ type Config struct {
 	// steady state; 0 means 0.7 (the optimizer needs most of the run to
 	// converge, and the figures report converged performance).
 	Warmup float64
+	// Parallelism bounds how many independent simulation runs execute
+	// concurrently inside one experiment (via the fleet worker pool);
+	// 0 means NumCPU. It changes wall time only: every run's seeds are
+	// fixed up front and results land in per-run slots, so the rendered
+	// tables are byte-identical at any parallelism.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,7 +69,17 @@ func (c Config) withDefaults() Config {
 	if c.Warmup == 0 {
 		c.Warmup = 0.7
 	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
 	return c
+}
+
+// parallelFor fans fn(i) for i in [0,n) out over the fleet worker pool at
+// the configured parallelism. Callers precompute per-index seeds and write
+// only index-owned slots, which keeps results order-independent.
+func (c Config) parallelFor(n int, fn func(int) error) error {
+	return fleet.ParallelFor(n, c.Parallelism, fn)
 }
 
 // Quick returns a configuration small enough for unit tests: one

@@ -83,25 +83,30 @@ func Extension3Param(cfg Config) (*Table, error) {
 		{"2 parameters (paper)", false},
 		{"3 parameters", true},
 	} {
-		var e2es, iters []float64
-		var finalCfg engine.Config
-		for rep := 0; rep < cfg.Repetitions; rep++ {
+		n := cfg.Repetitions
+		e2es, iters := make([]float64, n), make([]float64, n)
+		finalCfgs := make([]engine.Config, n)
+		if err := cfg.parallelFor(n, func(rep int) error {
 			res, err := runTuned("logreg", cfg.Horizon,
 				seed.Split(fmt.Sprintf("%s-%d", v.name, rep)),
 				func(o *engine.Options) { o.Bounds = blockBounds() },
 				func(o *core.Options) { o.TuneBlockInterval = v.tune },
 				nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			e2es = append(e2es, stats.Mean(res.tailE2E(cfg.Warmup)))
-			iters = append(iters, float64(len(res.ctl.Iterations())))
-			finalCfg = res.eng.Config()
+			e2es[rep] = stats.Mean(res.tailE2E(cfg.Warmup))
+			iters[rep] = float64(len(res.ctl.Iterations()))
+			finalCfgs[rep] = res.eng.Config()
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			v.name, meanStd(e2es),
 			fmt.Sprintf("%.1f", stats.Mean(iters)),
-			finalCfg.String(),
+			// The serial loop reported the last repetition's final config.
+			finalCfgs[n-1].String(),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -119,22 +124,33 @@ func ExtensionAutoGains(cfg Config) (*Table, error) {
 		Title:  "Extension (§7): automatic gain-sequence selection",
 		Header: []string{"workload", "manual a=10,c=2 e2e(s)", "auto gains e2e(s)"},
 	}
-	for _, wl := range workload.All() {
-		name := nameOf(wl)
-		var manual, auto []float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
-			m, err := runTuned(name, cfg.Horizon, repSeed.Split("manual"), nil, nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			manual = append(manual, stats.Mean(m.tailE2E(cfg.Warmup)))
-			a, err := runTuned(name, cfg.Horizon, repSeed.Split("auto"), nil,
-				func(o *core.Options) { o.AutoGains = true }, nil)
-			if err != nil {
-				return nil, err
-			}
-			auto = append(auto, stats.Mean(a.tailE2E(cfg.Warmup)))
+	wls := workload.All()
+	reps := cfg.Repetitions
+	type gainsRun struct{ manual, auto float64 }
+	runs := make([]gainsRun, len(wls)*reps)
+	if err := cfg.parallelFor(len(runs), func(i int) error {
+		name, rep := nameOf(wls[i/reps]), i%reps
+		repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
+		m, err := runTuned(name, cfg.Horizon, repSeed.Split("manual"), nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		runs[i].manual = stats.Mean(m.tailE2E(cfg.Warmup))
+		a, err := runTuned(name, cfg.Horizon, repSeed.Split("auto"), nil,
+			func(o *core.Options) { o.AutoGains = true }, nil)
+		if err != nil {
+			return err
+		}
+		runs[i].auto = stats.Mean(a.tailE2E(cfg.Warmup))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for w, wl := range wls {
+		manual, auto := make([]float64, reps), make([]float64, reps)
+		for rep := 0; rep < reps; rep++ {
+			manual[rep] = runs[w*reps+rep].manual
+			auto[rep] = runs[w*reps+rep].auto
 		}
 		t.Rows = append(t.Rows, []string{wl.Name(), meanStd(manual), meanStd(auto)})
 	}
@@ -160,8 +176,9 @@ func ExtensionNodeFailure(cfg Config) (*Table, error) {
 		{"fixed default config", false},
 		{"NoStop", true},
 	} {
-		var pre, post, queue []float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
+		reps := cfg.Repetitions
+		pre, post, queue := make([]float64, reps), make([]float64, reps), make([]float64, reps)
+		if err := cfg.parallelFor(reps, func(rep int) error {
 			repSeed := seed.Split(fmt.Sprintf("%s-%d", v.name, rep))
 			inject := func(clock *sim.Clock, eng *engine.Engine) {
 				clock.At(sim.Time(cfg.Horizon/2), func() { _ = eng.FailNode(5) })
@@ -174,7 +191,7 @@ func ExtensionNodeFailure(cfg Config) (*Table, error) {
 				res, err = runStaticWithFailure("logreg", cfg.Horizon, repSeed)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Steady-state windows on both sides of the failure: the
 			// second quarter (post-convergence, pre-failure) and the
@@ -191,9 +208,12 @@ func ExtensionNodeFailure(cfg Config) (*Table, error) {
 					postXs = append(postXs, b.EndToEndDelay.Seconds())
 				}
 			}
-			pre = append(pre, stats.Mean(preXs))
-			post = append(post, stats.Mean(postXs))
-			queue = append(queue, float64(res.eng.QueueLen()))
+			pre[rep] = stats.Mean(preXs)
+			post[rep] = stats.Mean(postXs)
+			queue[rep] = float64(res.eng.QueueLen())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{v.name, meanStd(pre), meanStd(post), fmt.Sprintf("%.1f", stats.Mean(queue))})
 	}

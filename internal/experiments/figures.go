@@ -18,6 +18,12 @@ const fig2Executors = 12
 // fig3Interval is the fixed batch interval for the Fig 3 executor sweep.
 const fig3Interval = 12 * time.Second
 
+// sweepPoint is one measured configuration of a Fig 2/3 static sweep; the
+// sweep runs fan out over the fleet pool and land in per-index slots.
+type sweepPoint struct {
+	proc, sched, e2e float64
+}
+
 // steadyBatchStats averages processing time and scheduling delay over the
 // post-warmup batches of a run.
 func steadyBatchStats(history []engine.BatchStats, warmup float64) (procMean, schedMean, e2eMean float64) {
@@ -51,29 +57,41 @@ func Fig2(cfg Config) (*Table, error) {
 	// A shorter horizon suffices: no optimizer to converge, but unstable
 	// points need enough time for the delay to show its divergence.
 	horizon := cfg.Horizon / 4
-	bestInterval, bestE2E := 0.0, -1.0
-	kneeSeen := false
+	var intervals []int
 	for interval := 2; interval <= 40; interval += 2 {
+		intervals = append(intervals, interval)
+	}
+	points := make([]sweepPoint, len(intervals))
+	if err := cfg.parallelFor(len(intervals), func(i int) error {
+		interval := intervals[i]
 		res, err := runStatic("logreg",
 			ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split(fmt.Sprintf("trace-%d", interval))),
 			engine.Config{BatchInterval: time.Duration(interval) * time.Second, Executors: fig2Executors},
 			horizon, seed.Split(fmt.Sprintf("run-%d", interval)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		proc, sched, e2e := steadyBatchStats(res.history, 0.3)
-		stable := sched < 1 && proc <= float64(interval)
-		if stable && (bestE2E < 0 || e2e < bestE2E) {
-			bestInterval, bestE2E = float64(interval), e2e
+		points[i].proc, points[i].sched, points[i].e2e = steadyBatchStats(res.history, 0.3)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	bestInterval, bestE2E := 0.0, -1.0
+	kneeSeen := false
+	for i, interval := range intervals {
+		p := points[i]
+		stable := p.sched < 1 && p.proc <= float64(interval)
+		if stable && (bestE2E < 0 || p.e2e < bestE2E) {
+			bestInterval, bestE2E = float64(interval), p.e2e
 		}
 		if !stable {
 			kneeSeen = true
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", interval),
-			fmt.Sprintf("%.2f", proc),
-			fmt.Sprintf("%.2f", sched),
-			fmt.Sprintf("%.2f", e2e),
+			fmt.Sprintf("%.2f", p.proc),
+			fmt.Sprintf("%.2f", p.sched),
+			fmt.Sprintf("%.2f", p.e2e),
 			fmt.Sprintf("%v", stable),
 		})
 	}
@@ -103,30 +121,40 @@ func Fig3(cfg Config) (*Table, error) {
 	wl := workload.NewLogisticRegression()
 	min, max := wl.RateBand()
 	horizon := cfg.Horizon / 4
-	var procByExec []float64
+	var execCounts []int
 	for execs := 2; execs <= 20; execs += 2 {
+		execCounts = append(execCounts, execs)
+	}
+	points := make([]sweepPoint, len(execCounts))
+	if err := cfg.parallelFor(len(execCounts), func(i int) error {
+		execs := execCounts[i]
 		res, err := runStatic("logreg",
 			ratetrace.NewUniformBand(min, max, 5*time.Second, seed.Split(fmt.Sprintf("trace-%d", execs))),
 			engine.Config{BatchInterval: fig3Interval, Executors: execs},
 			horizon, seed.Split(fmt.Sprintf("run-%d", execs)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		proc, sched, e2e := steadyBatchStats(res.history, 0.3)
-		stable := sched < 1 && proc <= fig3Interval.Seconds()
-		procByExec = append(procByExec, proc)
+		points[i].proc, points[i].sched, points[i].e2e = steadyBatchStats(res.history, 0.3)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, execs := range execCounts {
+		p := points[i]
+		stable := p.sched < 1 && p.proc <= fig3Interval.Seconds()
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", execs),
-			fmt.Sprintf("%.2f", proc),
-			fmt.Sprintf("%.2f", sched),
-			fmt.Sprintf("%.2f", e2e),
+			fmt.Sprintf("%.2f", p.proc),
+			fmt.Sprintf("%.2f", p.sched),
+			fmt.Sprintf("%.2f", p.e2e),
 			fmt.Sprintf("%v", stable),
 		})
 	}
 	// Locate the processing-time minimum for the note.
 	bestIdx := 0
-	for i, p := range procByExec {
-		if p < procByExec[bestIdx] {
+	for i := range points {
+		if points[i].proc < points[bestIdx].proc {
 			bestIdx = i
 		}
 	}
@@ -175,12 +203,21 @@ func Fig6(cfg Config) (*Table, error) {
 		Title:  "Fig 6: optimization evolution (per-iteration estimate)",
 		Header: []string{"workload", "iter", "time(s)", "interval(s)", "executors", "meanProc(s)", "y+", "y-"},
 	}
-	for _, wl := range workload.All() {
-		name := nameOf(wl)
+	wls := workload.All()
+	results := make([]*runResult, len(wls))
+	if err := cfg.parallelFor(len(wls), func(i int) error {
+		name := nameOf(wls[i])
 		res, err := runNoStop(name, nil, cfg.Horizon, seed.Split(name), nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, wl := range wls {
+		res := results[i]
 		its := res.ctl.Iterations()
 		// Downsample long traces to ≤12 rows per workload for the table;
 		// the full series is available programmatically.
@@ -255,21 +292,34 @@ func Fig7(cfg Config) (*Table, error) {
 		Title:  fmt.Sprintf("Fig 7: improvement over default configuration (%d runs)", cfg.Repetitions),
 		Header: []string{"workload", "default e2e(s)", "NoStop e2e(s)", "improvement"},
 	}
-	for _, wl := range workload.All() {
-		name := nameOf(wl)
-		var defTail, tunedTail []float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
-			defRes, err := runStatic(name, nil, engine.DefaultConfig(), cfg.Horizon, repSeed.Split("default"))
-			if err != nil {
-				return nil, err
-			}
-			defTail = append(defTail, stats.Mean(defRes.tailE2E(cfg.Warmup)))
-			tunedRes, err := runNoStop(name, nil, cfg.Horizon, repSeed.Split("nostop"), nil)
-			if err != nil {
-				return nil, err
-			}
-			tunedTail = append(tunedTail, stats.Mean(tunedRes.tailE2E(cfg.Warmup)))
+	wls := workload.All()
+	reps := cfg.Repetitions
+	// Flatten (workload, repetition) into one fan-out; each run-pair writes
+	// only its own slot, so per-workload tails reassemble in rep order.
+	type fig7Run struct{ def, tuned float64 }
+	runs := make([]fig7Run, len(wls)*reps)
+	if err := cfg.parallelFor(len(runs), func(i int) error {
+		name, rep := nameOf(wls[i/reps]), i%reps
+		repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
+		defRes, err := runStatic(name, nil, engine.DefaultConfig(), cfg.Horizon, repSeed.Split("default"))
+		if err != nil {
+			return err
+		}
+		runs[i].def = stats.Mean(defRes.tailE2E(cfg.Warmup))
+		tunedRes, err := runNoStop(name, nil, cfg.Horizon, repSeed.Split("nostop"), nil)
+		if err != nil {
+			return err
+		}
+		runs[i].tuned = stats.Mean(tunedRes.tailE2E(cfg.Warmup))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for w, wl := range wls {
+		defTail, tunedTail := make([]float64, reps), make([]float64, reps)
+		for rep := 0; rep < reps; rep++ {
+			defTail[rep] = runs[w*reps+rep].def
+			tunedTail[rep] = runs[w*reps+rep].tuned
 		}
 		imp := stats.Mean(defTail) / stats.Mean(tunedTail)
 		t.Rows = append(t.Rows, []string{
@@ -295,26 +345,45 @@ func Fig8(cfg Config) (*Table, error) {
 		Title:  fmt.Sprintf("Fig 8: SPSA vs Bayesian Optimization (%d runs)", cfg.Repetitions),
 		Header: []string{"workload", "tuner", "final e2e(s)", "search time(s)", "config steps"},
 	}
-	for _, wl := range workload.All() {
-		name := nameOf(wl)
+	wls := workload.All()
+	reps := cfg.Repetitions
+	type fig8Run struct {
+		spsaE2E, spsaTime, spsaSteps float64
+		boE2E, boTime, boSteps       float64
+	}
+	runs := make([]fig8Run, len(wls)*reps)
+	if err := cfg.parallelFor(len(runs), func(i int) error {
+		name, rep := nameOf(wls[i/reps]), i%reps
+		repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
+		ns, err := runNoStop(name, nil, cfg.Horizon, repSeed.Split("nostop"), nil)
+		if err != nil {
+			return err
+		}
+		runs[i].spsaE2E = stats.Mean(ns.tailE2E(cfg.Warmup))
+		runs[i].spsaSteps = float64(ns.ctl.ConfigureSteps())
+		runs[i].spsaTime = searchTimeNoStop(ns)
+		bo, err := runBayesOpt(name, nil, cfg.Horizon, repSeed.Split("bo"))
+		if err != nil {
+			return err
+		}
+		runs[i].boE2E = stats.Mean(bo.tailE2E(cfg.Warmup))
+		runs[i].boSteps = float64(bo.bo.ConfigureSteps())
+		runs[i].boTime = searchTimeBO(bo)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for w, wl := range wls {
 		var spsaE2E, spsaTime, spsaSteps []float64
 		var boE2E, boTime, boSteps []float64
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			repSeed := seed.Split(fmt.Sprintf("%s-%d", name, rep))
-			ns, err := runNoStop(name, nil, cfg.Horizon, repSeed.Split("nostop"), nil)
-			if err != nil {
-				return nil, err
-			}
-			spsaE2E = append(spsaE2E, stats.Mean(ns.tailE2E(cfg.Warmup)))
-			spsaSteps = append(spsaSteps, float64(ns.ctl.ConfigureSteps()))
-			spsaTime = append(spsaTime, searchTimeNoStop(ns))
-			bo, err := runBayesOpt(name, nil, cfg.Horizon, repSeed.Split("bo"))
-			if err != nil {
-				return nil, err
-			}
-			boE2E = append(boE2E, stats.Mean(bo.tailE2E(cfg.Warmup)))
-			boSteps = append(boSteps, float64(bo.bo.ConfigureSteps()))
-			boTime = append(boTime, searchTimeBO(bo))
+		for rep := 0; rep < reps; rep++ {
+			r := runs[w*reps+rep]
+			spsaE2E = append(spsaE2E, r.spsaE2E)
+			spsaTime = append(spsaTime, r.spsaTime)
+			spsaSteps = append(spsaSteps, r.spsaSteps)
+			boE2E = append(boE2E, r.boE2E)
+			boTime = append(boTime, r.boTime)
+			boSteps = append(boSteps, r.boSteps)
 		}
 		t.Rows = append(t.Rows, []string{wl.Name(), "SPSA (NoStop)", meanStd(spsaE2E), meanStd(spsaTime), meanStd(spsaSteps)})
 		t.Rows = append(t.Rows, []string{wl.Name(), "BayesOpt", meanStd(boE2E), meanStd(boTime), meanStd(boSteps)})

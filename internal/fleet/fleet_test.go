@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSpec is a small but multi-axis sweep: two controllers over two seeds.
+func testSpec() Spec {
+	return Spec{
+		Name:        "test",
+		Seeds:       []uint64{1, 2},
+		Workloads:   []string{"logreg"},
+		Controllers: []string{ControllerStatic, ControllerNoStop},
+		Horizon:     Duration(10 * time.Minute),
+		Warmup:      0.5,
+	}
+}
+
+// encode renders a report's manifest and aggregates for byte comparison.
+func encode(t *testing.T, r *Report) (manifest, aggs []byte) {
+	t.Helper()
+	manifest, err := r.Manifest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err = EncodeAggregates(r.Aggregates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return manifest, aggs
+}
+
+func TestJobHashStability(t *testing.T) {
+	jobs, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		h := j.Hash()
+		if len(h) != 64 {
+			t.Fatalf("hash %q is not a sha256 hex digest", h)
+		}
+		if h != j.Hash() {
+			t.Fatal("hash not stable across calls")
+		}
+		if seen[h] {
+			t.Fatalf("duplicate hash %s for distinct job %v", h, j)
+		}
+		seen[h] = true
+	}
+	a, b := jobs[0], jobs[0]
+	b.Seed++
+	if a.Hash() == b.Hash() {
+		t.Fatal("seed change did not change the hash")
+	}
+	b = jobs[0]
+	b.Horizon += Duration(time.Second)
+	if a.Hash() == b.Hash() {
+		t.Fatal("horizon change did not change the hash")
+	}
+}
+
+// TestParallelismInvariance is the headline determinism regression: the same
+// spec run at parallelism 1 and parallelism 8 must produce byte-identical
+// manifests and aggregate JSON.
+func TestParallelismInvariance(t *testing.T) {
+	spec := testSpec()
+	r1, err := Run(spec, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(spec, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, a1 := encode(t, r1)
+	m8, a8 := encode(t, r8)
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("manifests differ between -j 1 and -j 8\n-j1: %d bytes\n-j8: %d bytes", len(m1), len(m8))
+	}
+	if !bytes.Equal(a1, a8) {
+		t.Errorf("aggregates differ between -j 1 and -j 8:\n%s\nvs\n%s", a1, a8)
+	}
+	if r1.Executed != len(r1.Manifest.Jobs) || r1.Cached != 0 {
+		t.Errorf("store-less run reported executed=%d cached=%d", r1.Executed, r1.Cached)
+	}
+}
+
+// TestResumeConvergence emulates a sweep killed partway — only a subset of
+// artifacts on disk — and asserts the resumed full sweep skips exactly the
+// cached jobs and converges to the manifest a fresh uninterrupted run
+// produces.
+func TestResumeConvergence(t *testing.T) {
+	full := testSpec()
+	full.Seeds = []uint64{1, 2, 3}
+
+	partial := full
+	partial.Seeds = []uint64{1, 2} // the jobs that "survived the kill"
+
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(partial, Options{Parallelism: 4, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Run(full, Options{Parallelism: 4, Store: store, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCached := len(full.Workloads) * len(full.Controllers) * len(partial.Seeds)
+	if resumed.Cached != wantCached {
+		t.Errorf("resume cached %d jobs, want %d", resumed.Cached, wantCached)
+	}
+	if resumed.Executed != len(resumed.Manifest.Jobs)-wantCached {
+		t.Errorf("resume executed %d jobs, want %d", resumed.Executed, len(resumed.Manifest.Jobs)-wantCached)
+	}
+
+	fresh, err := Run(full, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, ra := encode(t, resumed)
+	fm, fa := encode(t, fresh)
+	if !bytes.Equal(rm, fm) {
+		t.Error("resumed manifest differs from a fresh uninterrupted run")
+	}
+	if !bytes.Equal(ra, fa) {
+		t.Error("resumed aggregates differ from a fresh uninterrupted run")
+	}
+
+	// A second resume finds everything cached and executes nothing.
+	again, err := Run(full, Options{Parallelism: 4, Store: store, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.Cached != len(again.Manifest.Jobs) {
+		t.Errorf("second resume executed=%d cached=%d, want 0/%d",
+			again.Executed, again.Cached, len(again.Manifest.Jobs))
+	}
+}
+
+// TestResumeRejectsCorruptArtifact: a truncated or tampered artifact must be
+// re-executed, not trusted.
+func TestResumeRejectsCorruptArtifact(t *testing.T) {
+	spec := testSpec()
+	spec.Controllers = []string{ControllerStatic}
+
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Parallelism: 2, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := filepath.Glob(filepath.Join(dir, "runs", "*.json"))
+	if err != nil || len(runs) == 0 {
+		t.Fatalf("no artifacts written (err=%v)", err)
+	}
+	if err := os.WriteFile(runs[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Run(spec, Options{Parallelism: 2, Store: store, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 1 || resumed.Cached != len(resumed.Manifest.Jobs)-1 {
+		t.Errorf("corrupt artifact: executed=%d cached=%d, want 1/%d",
+			resumed.Executed, resumed.Cached, len(resumed.Manifest.Jobs)-1)
+	}
+}
+
+// TestStoreRejectsWrongHash: an artifact valid in itself but filed under a
+// different job's hash must be a miss.
+func TestStoreRejectsWrongHash(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Hash: jobs[0].Hash(), Job: jobs[0], Summary: Summary{Batches: 1}}
+	if err := store.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(jobs[0]); !ok {
+		t.Fatal("saved record not loadable")
+	}
+	if _, ok := store.Load(jobs[1]); ok {
+		t.Fatal("record for job 0 answered a lookup for job 1")
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	const n = 100
+	var mu sync.Mutex
+	hit := make([]int, n)
+	if err := ParallelFor(n, 7, func(i int) error {
+		mu.Lock()
+		hit[i]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+// TestParallelForDeterministicError: with several failing indices, the error
+// of the smallest one is returned regardless of scheduling.
+func TestParallelForDeterministicError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("index %d failed", i) }
+	for trial := 0; trial < 5; trial++ {
+		err := ParallelFor(50, 8, func(i int) error {
+			if i == 13 || i == 7 || i == 42 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "index 7") {
+			t.Fatalf("trial %d: got %v, want the index-7 error", trial, err)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Seeds: []uint64{1}},
+		{Seeds: []uint64{1}, Workloads: []string{"nope"}, Controllers: []string{"static"}},
+		{Seeds: []uint64{1}, Workloads: []string{"logreg"}, Controllers: []string{"magic"}},
+		{Seeds: []uint64{1}, Workloads: []string{"logreg"}, Controllers: []string{"static"}, Warmup: 1.5},
+		{Seeds: []uint64{1}, Workloads: []string{"logreg"}, Controllers: []string{"static"},
+			Traces: []TraceSpec{{Kind: "sine"}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated but should not have", i)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Errorf("test spec rejected: %v", err)
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	for _, d := range []Duration{0, Duration(5 * time.Second), Duration(40 * time.Minute)} {
+		enc, err := d.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Duration
+		if err := back.UnmarshalJSON(enc); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("round trip %v -> %s -> %v", d, enc, back)
+		}
+	}
+	var fromInt Duration
+	if err := fromInt.UnmarshalJSON([]byte("300000000000")); err != nil {
+		t.Fatal(err)
+	}
+	if fromInt.D() != 5*time.Minute {
+		t.Errorf("integer nanoseconds parsed as %v, want 5m", fromInt)
+	}
+	var bad Duration
+	if err := bad.UnmarshalJSON([]byte(`"not-a-duration"`)); err == nil {
+		t.Error("bad duration string accepted")
+	}
+}
+
+func TestRunResumeWithoutStore(t *testing.T) {
+	_, err := Run(testSpec(), Options{Resume: true})
+	if err == nil {
+		t.Fatal("resume without a store should fail")
+	}
+	if !strings.Contains(err.Error(), "resume requires a store") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"fmt"
+
+	"nostop/internal/baselines"
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/faults"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+	"nostop/internal/workload"
+)
+
+// Dist summarizes a sample of per-batch delays.
+type Dist struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// distOf summarizes xs into a Dist.
+func distOf(xs []float64) Dist {
+	s := stats.Summarize(xs)
+	return Dist{N: s.N, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// Summary is the per-run result stored in artifacts and manifests: steady-
+// state delay distributions plus the engine's resilience accounting. Every
+// field is a pure function of the Job — no wall-clock or worker-dependent
+// value may ever be added here, or parallelism invariance breaks.
+type Summary struct {
+	Batches        int     `json:"batches"`
+	SteadyBatches  int     `json:"steady_batches"`
+	E2E            Dist    `json:"e2e_seconds"`
+	ProcMean       float64 `json:"proc_mean_seconds"`
+	SchedMean      float64 `json:"sched_mean_seconds"`
+	Reconfigs      int     `json:"reconfigs"`
+	ConfigSteps    int     `json:"config_steps"`
+	FinalInterval  float64 `json:"final_interval_seconds"`
+	FinalExecutors int     `json:"final_executors"`
+	Phase          string  `json:"phase,omitempty"`
+	FailedBatches  int64   `json:"failed_batches"`
+	TaskRetries    int     `json:"task_retries"`
+	Redelivered    int64   `json:"redelivered"`
+	FailedRecords  int64   `json:"failed_records"`
+	TotalRecords   int64   `json:"total_records"`
+	FaultsInjected int     `json:"faults_injected,omitempty"`
+}
+
+// Execute runs one job to completion and summarizes it. The run is built
+// from scratch — own clock, own engine, own controller — so concurrent
+// Execute calls share nothing. The job's random streams all derive from a
+// path that encodes the job axes, so distinct grid points draw independent
+// randomness even under the same seed.
+func Execute(job Job) (Summary, error) {
+	clock := sim.NewClock()
+	wl, err := workload.New(job.Workload)
+	if err != nil {
+		return Summary{}, err
+	}
+	seed := rng.New(job.Seed).Split(fmt.Sprintf("fleet/%s/%s/%s/%s",
+		job.Workload, job.Controller, job.Trace.label(), job.Plan.label()))
+
+	min, max := wl.RateBand()
+	tr := job.Trace.withDefaults()
+	if tr.Min != 0 || tr.Max != 0 {
+		min, max = tr.Min, tr.Max
+	}
+	trace := ratetrace.NewUniformBand(min, max, tr.Period.D(), seed.Split("trace"))
+
+	initial := engine.DefaultConfig()
+	if job.Initial.Interval != 0 {
+		initial.BatchInterval = job.Initial.Interval.D()
+	}
+	if job.Initial.Executors != 0 {
+		initial.Executors = job.Initial.Executors
+	}
+
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  initial,
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+
+	var inj *faults.Injector
+	if len(job.Plan.Faults) > 0 {
+		if inj, err = faults.Attach(eng, job.Plan.Faults); err != nil {
+			return Summary{}, err
+		}
+	}
+	if err := eng.Start(); err != nil {
+		return Summary{}, err
+	}
+
+	var ctl *core.Controller
+	switch job.Controller {
+	case ControllerStatic:
+	case ControllerNoStop:
+		if ctl, err = core.New(eng, core.Options{Seed: seed.Split("controller")}); err != nil {
+			return Summary{}, err
+		}
+		err = ctl.Attach()
+	case ControllerBackPressure:
+		var bp *baselines.BackPressure
+		if bp, err = baselines.NewBackPressure(eng, baselines.BPOptions{}); err != nil {
+			return Summary{}, err
+		}
+		err = bp.Attach()
+	case ControllerBayesOpt:
+		var bo *baselines.BayesOpt
+		if bo, err = baselines.NewBayesOpt(eng, baselines.BOOptions{Seed: seed.Split("bo")}); err != nil {
+			return Summary{}, err
+		}
+		err = bo.Attach()
+	default:
+		return Summary{}, fmt.Errorf("fleet: unknown controller %q", job.Controller)
+	}
+	if err != nil {
+		return Summary{}, err
+	}
+
+	clock.RunUntil(sim.Time(job.Horizon))
+	return summarize(job, eng, ctl, inj), nil
+}
+
+// summarize reduces a finished run to its Summary.
+func summarize(job Job, eng *engine.Engine, ctl *core.Controller, inj *faults.Injector) Summary {
+	history := eng.History()
+	start := int(float64(len(history)) * job.Warmup)
+	var e2e, proc, sched []float64
+	for _, b := range history[start:] {
+		if b.FirstAfterReconfig {
+			continue
+		}
+		e2e = append(e2e, b.EndToEndDelay.Seconds())
+		proc = append(proc, b.ProcessingTime.Seconds())
+		sched = append(sched, b.SchedulingDelay.Seconds())
+	}
+
+	s := Summary{
+		Batches:        len(history),
+		SteadyBatches:  len(e2e),
+		E2E:            distOf(e2e),
+		ProcMean:       stats.Mean(proc),
+		SchedMean:      stats.Mean(sched),
+		Reconfigs:      eng.Reconfigs(),
+		FinalInterval:  eng.Config().BatchInterval.Seconds(),
+		FinalExecutors: eng.Config().Executors,
+		FailedBatches:  eng.FailedBatches(),
+		TaskRetries:    eng.TaskRetries(),
+		Redelivered:    eng.Redelivered(),
+		FailedRecords:  eng.FailedRecords(),
+		TotalRecords:   eng.TotalRecords(),
+	}
+	if ctl != nil {
+		s.ConfigSteps = ctl.ConfigureSteps()
+		s.Phase = ctl.Phase().String()
+	}
+	if inj != nil {
+		s.FaultsInjected = inj.Injected()
+	}
+	return s
+}

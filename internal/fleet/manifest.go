@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"nostop/internal/stats"
+)
+
+// Manifest is the byte-stable output of a fleet run: the resolved spec plus
+// one record per job, in spec-expansion order. Encoding the same spec's
+// manifest at any parallelism yields identical bytes; nothing wall-clock- or
+// scheduling-derived is allowed in here.
+type Manifest struct {
+	Version int      `json:"version"`
+	Spec    Spec     `json:"spec"`
+	Jobs    []Record `json:"jobs"`
+}
+
+// Encode renders the manifest as stable, indented JSON with a trailing
+// newline. encoding/json writes struct fields in declaration order and
+// formats floats deterministically, so equal manifests encode to equal
+// bytes.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding manifest: %v", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Aggregate is the per-cell statistics over that cell's seeds: mean/std and
+// a 95% confidence interval (Student t) of the steady-state e2e mean, plus
+// averaged distribution tails — the replicated-trial variance accounting the
+// single-run tables cannot provide.
+type Aggregate struct {
+	Cell       Cell    `json:"cell"`
+	Seeds      int     `json:"seeds"`
+	E2EMean    float64 `json:"e2e_mean_seconds"`
+	E2EStd     float64 `json:"e2e_std_seconds"`
+	E2ECI95    float64 `json:"e2e_ci95_seconds"`
+	E2EP50Mean float64 `json:"e2e_p50_mean_seconds"`
+	E2EP95Mean float64 `json:"e2e_p95_mean_seconds"`
+	ProcMean   float64 `json:"proc_mean_seconds"`
+	SchedMean  float64 `json:"sched_mean_seconds"`
+	ConfigMean float64 `json:"config_steps_mean"`
+}
+
+// Aggregates groups records into cells (every axis except the seed) and
+// summarizes each. The input may arrive in any order: records are grouped by
+// canonical cell key and cells are emitted key-sorted, so the output is a
+// pure function of the record *set*.
+func Aggregates(recs []Record) []Aggregate {
+	groups := make(map[string][]Record)
+	for _, r := range recs {
+		k := r.Job.Cell().key()
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]Aggregate, 0, len(keys))
+	for _, k := range keys {
+		group := groups[k]
+		// Seed order within a cell must not depend on arrival order.
+		sort.Slice(group, func(i, j int) bool { return group[i].Job.Seed < group[j].Job.Seed })
+		var e2e, p50, p95, proc, sched, steps []float64
+		for _, r := range group {
+			e2e = append(e2e, r.Summary.E2E.Mean)
+			p50 = append(p50, r.Summary.E2E.P50)
+			p95 = append(p95, r.Summary.E2E.P95)
+			proc = append(proc, r.Summary.ProcMean)
+			sched = append(sched, r.Summary.SchedMean)
+			steps = append(steps, float64(r.Summary.ConfigSteps))
+		}
+		mean, half := stats.MeanCI95(e2e)
+		out = append(out, Aggregate{
+			Cell:       group[0].Job.Cell(),
+			Seeds:      len(group),
+			E2EMean:    mean,
+			E2EStd:     stats.Std(e2e),
+			E2ECI95:    half,
+			E2EP50Mean: stats.Mean(p50),
+			E2EP95Mean: stats.Mean(p95),
+			ProcMean:   stats.Mean(proc),
+			SchedMean:  stats.Mean(sched),
+			ConfigMean: stats.Mean(steps),
+		})
+	}
+	return out
+}
+
+// EncodeAggregates renders aggregates as stable, indented JSON with a
+// trailing newline.
+func EncodeAggregates(aggs []Aggregate) ([]byte, error) {
+	data, err := json.MarshalIndent(aggs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding aggregates: %v", err)
+	}
+	return append(data, '\n'), nil
+}

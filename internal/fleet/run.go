@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"nostop/internal/metrics"
+)
+
+// Options controls one fleet run.
+type Options struct {
+	// Parallelism bounds concurrent jobs; <= 0 means runtime.NumCPU().
+	// It affects wall time only, never results (see package doc).
+	Parallelism int
+	// Store, when non-nil, persists each completed job atomically.
+	Store *Store
+	// Resume skips jobs whose valid artifact is already in Store.
+	Resume bool
+	// Metrics, when non-nil, receives per-worker fleet counters
+	// (fleet_worker_jobs_total{worker,outcome}). Worker attribution is
+	// scheduling-dependent by nature, which is why these counters live
+	// beside — never inside — the manifest.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, is called after each job completes, from
+	// worker goroutines but serialized under the runner's lock.
+	Progress func(done, total int, rec *Record, cached bool)
+}
+
+// Report is the result of a fleet run.
+type Report struct {
+	// Manifest holds the per-run records in spec-expansion order.
+	Manifest *Manifest
+	// Aggregates holds the per-cell statistics over seeds.
+	Aggregates []Aggregate
+	// Executed counts jobs that actually ran; Cached counts jobs served
+	// from the store. Executed + Cached == len(Manifest.Jobs).
+	Executed int
+	Cached   int
+}
+
+// Run expands the spec and executes every job on a bounded worker pool,
+// returning the merged manifest and aggregates. Workers pull jobs from a
+// shared queue (dynamic load balancing: a free worker steals whatever grid
+// point is next), results land in a slot indexed by expansion order, and
+// the merge happens only after the pool drains — so parallelism and
+// completion order cannot influence a single output byte.
+func Run(spec Spec, opts Options) (*Report, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Resume && opts.Store == nil {
+		return nil, fmt.Errorf("fleet: resume requires a store")
+	}
+
+	records := make([]*Record, len(jobs))
+	var mu sync.Mutex
+	done, executed, cached := 0, 0, 0
+
+	err = forEachWorker(len(jobs), opts.Parallelism, func(i, worker int) error {
+		job := jobs[i]
+		rec, hit := (*Record)(nil), false
+		if opts.Resume {
+			rec, hit = opts.Store.Load(job)
+		}
+		if !hit {
+			sum, err := Execute(job)
+			if err != nil {
+				return fmt.Errorf("job %v: %v", job, err)
+			}
+			rec = &Record{Hash: job.Hash(), Job: job, Summary: sum}
+			if opts.Store != nil {
+				if err := opts.Store.Save(rec); err != nil {
+					return err
+				}
+			}
+		}
+		records[i] = rec
+
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if hit {
+			cached++
+		} else {
+			executed++
+		}
+		countJob(opts.Metrics, worker, hit)
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs), rec, hit)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %v", err)
+	}
+
+	recs := make([]Record, len(records))
+	for i, r := range records {
+		recs[i] = *r
+	}
+	return &Report{
+		Manifest:   &Manifest{Version: 1, Spec: spec.normalized(), Jobs: recs},
+		Aggregates: Aggregates(recs),
+		Executed:   executed,
+		Cached:     cached,
+	}, nil
+}
+
+// countJob bumps the per-worker outcome counter; nil-safe.
+func countJob(reg *metrics.Registry, worker int, cached bool) {
+	if reg == nil {
+		return
+	}
+	outcome := "executed"
+	if cached {
+		outcome = "cached"
+	}
+	reg.Counter("fleet_worker_jobs_total",
+		"fleet jobs completed, by worker and outcome (executed or cached)",
+		metrics.L("worker", strconv.Itoa(worker)),
+		metrics.L("outcome", outcome)).Inc()
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on at most parallelism
+// workers (<= 0: runtime.NumCPU()) and returns the error of the smallest
+// failing index, if any. It is the primitive internal/experiments uses to
+// parallelize its sweeps: callers must keep each fn(i) a pure function of i
+// writing only to index-owned state, which makes the result independent of
+// parallelism and scheduling.
+func ParallelFor(n, parallelism int, fn func(i int) error) error {
+	return forEachWorker(n, parallelism, func(i, _ int) error { return fn(i) })
+}
+
+// forEachWorker is ParallelFor with the worker id exposed, for per-worker
+// metrics. Errors are recorded per index and the smallest failing index's
+// error is returned, keeping even the failure mode deterministic.
+func forEachWorker(n, parallelism int, fn func(i, worker int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	idx := make(chan int)
+	errs := make([]error, n)
+	var failed sync.Once
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i, worker); err != nil {
+					errs[i] = err
+					failed.Do(func() { close(stop) })
+				}
+			}
+		}(w)
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

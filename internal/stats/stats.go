@@ -258,6 +258,35 @@ func Std(xs []float64) float64 {
 	return o.Std()
 }
 
+// t95 holds two-sided 97.5% Student t critical values for 1..30 degrees of
+// freedom; beyond 30 the normal approximation (1.96) is within 2%.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval, using Student's t critical value for the sample's
+// degrees of freedom (replicated experiment runs are small samples, where
+// the normal approximation understates the interval). Fewer than two
+// observations yield a zero half-width.
+func MeanCI95(xs []float64) (mean, half float64) {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() < 2 {
+		return o.Mean(), 0
+	}
+	df := o.N() - 1
+	t := 1.960
+	if df <= len(t95) {
+		t = t95[df-1]
+	}
+	return o.Mean(), t * o.SampleStd() / math.Sqrt(float64(o.N()))
+}
+
 // Point is one timestamped observation in a Series. T is virtual seconds
 // from the simulation epoch.
 type Point struct {
