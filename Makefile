@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet trace verify
+.PHONY: build vet test race chaos bench fleet trace golden fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,25 @@ chaos:
 	$(GO) run ./cmd/nostop-chaos
 
 ## bench: quick table regeneration plus the fleet scaling benchmark, which
-## writes BENCH_fleet.json (32-job sweep timed at -j 1 vs -j NumCPU).
+## writes BENCH_fleet.json (32-job sweep timed at -j 1 vs -j NumCPU), and the
+## kernel hot-path benchmark, which writes BENCH_kernel.json (see PERF.md).
 bench:
 	$(GO) run ./cmd/nostop-bench -quick
 	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json
+	$(GO) run ./cmd/nostop-bench -experiment kernel -benchout BENCH_kernel.json
+	$(GO) test ./internal/sim/bench -bench . -benchmem
+
+## golden: regenerate the golden-master artifacts after an INTENDED
+## output change. Review the diff before committing — these files are the
+## determinism contract's byte-for-byte reference.
+golden:
+	GOLDEN_UPDATE=1 $(GO) test ./internal/experiments -run TestGolden -count=1
+
+## fuzz-smoke: run each native fuzz target briefly against its corpus plus
+## 30s of fresh inputs. CI runs the same budget.
+fuzz-smoke:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventQueue -fuzztime 30s
+	$(GO) test ./internal/fleet -run '^$$' -fuzz FuzzFleetSpec -fuzztime 30s
 
 ## fleet: small parallel sweep with resume — the nostop-fleet smoke path.
 fleet:

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -50,7 +52,7 @@ func names() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(append([]string{"all", "table2", "fleet"}, keys...), ", ")
+	return strings.Join(append([]string{"all", "table2", "fleet", "kernel"}, keys...), ", ")
 }
 
 func main() {
@@ -61,7 +63,10 @@ func main() {
 		horizon = flag.Duration("horizon", 0, "virtual run duration (0: 2h)")
 		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		bench   = flag.String("benchout", "BENCH_fleet.json", "output path for -experiment fleet")
+		bench   = flag.String("benchout", "", "output path (-experiment fleet: BENCH_fleet.json, kernel: BENCH_kernel.json)")
+		record  = flag.Bool("record-baseline", false, "kernel: record this run's wall time as the baseline too")
+		compare = flag.String("compare", "", "kernel: compare against a prior BENCH_kernel.json and fail on >10% regression")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the benchmark sweep to this file")
 	)
 	flag.Parse()
 
@@ -84,7 +89,20 @@ func main() {
 	case "table2":
 		emit(experiments.Table2(), *csv)
 	case "fleet":
-		if err := runFleetBench(*bench); err != nil {
+		out := *bench
+		if out == "" {
+			out = "BENCH_fleet.json"
+		}
+		if err := runFleetBench(out); err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
+	case "kernel":
+		out := *bench
+		if out == "" {
+			out = "BENCH_kernel.json"
+		}
+		if err := runKernelBench(out, *record, *compare, *cpuprof); err != nil {
 			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
 			os.Exit(1)
 		}
@@ -180,4 +198,119 @@ func runFleetBench(outPath string) error {
 	fmt.Printf("fleet bench: %d jobs, j=1 %.1fs, j=%d %.1fs, speedup %.2fx, manifests identical: %v -> %s\n",
 		res.Jobs, t1, jn, tn, res.Speedup, res.ManifestsIdentical, outPath)
 	return nil
+}
+
+// kernelBenchResult is the BENCH_kernel.json payload: the fixed Fig-7 fleet
+// sweep (4 workloads x {static, nostop} x 8 seeds, 20m horizon = 64 jobs)
+// timed at -j NumCPU. BaselineWallSeconds is the wall time recorded at the
+// pre-optimization commit on the same machine (-record-baseline); Reduction
+// is the fractional wall-clock win against it. ManifestSHA256 fingerprints
+// the merged manifest so a perf regeneration doubles as a byte-identical
+// output check.
+type kernelBenchResult struct {
+	Jobs                int     `json:"jobs"`
+	NumCPU              int     `json:"numcpu"`
+	Parallelism         int     `json:"parallelism"`
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	Reduction           float64 `json:"reduction"`
+	ManifestSHA256      string  `json:"manifest_sha256"`
+}
+
+// kernelSpec is the fixed sweep behind -experiment kernel. It mirrors the
+// Fig 7 axes (every workload, untuned default vs NoStop) so the benchmark
+// exercises the full hot path: event kernel, broker ingest, engine batch
+// loop, and the SPSA controller.
+func kernelSpec() fleet.Spec {
+	return fleet.Spec{
+		Name:        "bench-kernel",
+		Seeds:       []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		Workloads:   []string{"logreg", "linreg", "wordcount", "pageanalyze"},
+		Controllers: []string{fleet.ControllerStatic, fleet.ControllerNoStop},
+		Horizon:     fleet.Duration(20 * time.Minute),
+		Warmup:      0.5,
+	}
+}
+
+// runKernelBench times the kernel sweep, carries the recorded baseline
+// forward (unless -record-baseline resets it), and optionally compares
+// against a previous result file, failing on a >10% wall-clock regression.
+func runKernelBench(outPath string, recordBaseline bool, comparePath, cpuprofPath string) error {
+	spec := kernelSpec()
+	jn := runtime.NumCPU()
+	if jn < 2 {
+		jn = 2
+	}
+	if cpuprofPath != "" {
+		f, err := os.Create(cpuprofPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	rep, err := fleet.Run(spec, fleet.Options{Parallelism: jn})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	manifest, err := rep.Manifest.Encode()
+	if err != nil {
+		return err
+	}
+	res := kernelBenchResult{
+		Jobs:           len(rep.Manifest.Jobs),
+		NumCPU:         runtime.NumCPU(),
+		Parallelism:    jn,
+		WallSeconds:    wall,
+		ManifestSHA256: fmt.Sprintf("%x", sha256.Sum256(manifest)),
+	}
+	if prev, err := readKernelResult(outPath); err == nil && !recordBaseline {
+		res.BaselineWallSeconds = prev.BaselineWallSeconds
+	} else {
+		res.BaselineWallSeconds = wall
+	}
+	if res.BaselineWallSeconds > 0 {
+		res.Reduction = 1 - res.WallSeconds/res.BaselineWallSeconds
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("kernel bench: %d jobs, j=%d, wall %.1fs, baseline %.1fs, reduction %.1f%% -> %s\n",
+		res.Jobs, jn, res.WallSeconds, res.BaselineWallSeconds, 100*res.Reduction, outPath)
+	if comparePath != "" {
+		prev, err := readKernelResult(comparePath)
+		if err != nil {
+			return fmt.Errorf("compare: %v", err)
+		}
+		ratio := res.WallSeconds / prev.WallSeconds
+		fmt.Printf("kernel bench compare: base %.1fs, head %.1fs, ratio %.3f\n",
+			prev.WallSeconds, res.WallSeconds, ratio)
+		if ratio > 1.10 {
+			return fmt.Errorf("kernel benchmark regressed %.1f%% (base %.1fs, head %.1fs)",
+				100*(ratio-1), prev.WallSeconds, res.WallSeconds)
+		}
+	}
+	return nil
+}
+
+// readKernelResult loads a previous BENCH_kernel.json.
+func readKernelResult(path string) (kernelBenchResult, error) {
+	var res kernelBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %v", path, err)
+	}
+	return res, nil
 }

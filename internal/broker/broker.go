@@ -60,6 +60,7 @@ type Partition struct {
 	begin, end int64 // log spans offsets [begin, end)
 	down       bool  // outage: the partition leader is unreachable
 	obs        Observer
+	top        *Topic // owning topic, for incremental aggregate accounting
 
 	samples    []Record // ring buffer of most recent concrete payloads
 	sampleHead int      // index of the oldest retained record once full
@@ -70,6 +71,13 @@ type Partition struct {
 // outage models a consumer-side fetch failure, with the log itself durable —
 // but consumer groups cannot fetch from it.
 func (p *Partition) SetDown(down bool) {
+	if down != p.down && p.top != nil {
+		if down {
+			p.top.downCount++
+		} else {
+			p.top.downCount--
+		}
+	}
 	p.down = down
 	if p.obs != nil {
 		p.obs.OnOutage(p.Topic, p.ID, down)
@@ -88,6 +96,9 @@ func (p *Partition) End() int64 { return p.end }
 // appendCount appends n records without payloads.
 func (p *Partition) appendCount(n int64) {
 	p.end += n
+	if p.top != nil {
+		p.top.totalEnd += n
+	}
 	if p.obs != nil && n > 0 {
 		p.obs.OnAppend(p.Topic, p.ID, n)
 	}
@@ -97,6 +108,9 @@ func (p *Partition) appendCount(n int64) {
 func (p *Partition) appendRecord(key, value string, t sim.Time) Record {
 	rec := Record{Partition: p.ID, Offset: p.end, Key: key, Value: value, Time: t}
 	p.end++
+	if p.top != nil {
+		p.top.totalEnd++
+	}
 	if p.obs != nil {
 		p.obs.OnAppend(p.Topic, p.ID, 1)
 	}
@@ -147,6 +161,12 @@ type Topic struct {
 	Name       string
 	Partitions []*Partition
 	obs        Observer
+
+	// Incremental aggregates, so the per-batch accounting paths (Lag,
+	// Fetch availability, TotalEnd) are O(1) instead of rescanning every
+	// partition on every batch cut.
+	totalEnd  int64 // sum of partition end offsets
+	downCount int   // partitions currently in outage
 }
 
 // SetObserver installs (or, with nil, removes) the activity observer on the
@@ -195,7 +215,7 @@ func (b *Bus) CreateTopic(name string, nPartitions, sampleCap int) (*Topic, erro
 	t := &Topic{Name: name}
 	for i := 0; i < nPartitions; i++ {
 		br := b.brokers[i%len(b.brokers)]
-		p := &Partition{Topic: name, ID: i, Broker: br}
+		p := &Partition{Topic: name, ID: i, Broker: br, top: t}
 		if sampleCap > 0 {
 			p.samples = make([]Record, 0, sampleCap)
 		}
@@ -217,13 +237,7 @@ func (b *Bus) Topic(name string) (*Topic, error) {
 
 // TotalEnd returns the sum of partition end offsets for a topic — the total
 // number of records ever produced to it.
-func (t *Topic) TotalEnd() int64 {
-	var total int64
-	for _, p := range t.Partitions {
-		total += p.End()
-	}
-	return total
-}
+func (t *Topic) TotalEnd() int64 { return t.totalEnd }
 
 // Producer writes to one topic, spreading records uniformly across
 // partitions (round-robin), which is how the paper's generator avoids skew.
@@ -291,6 +305,25 @@ type ConsumerGroup struct {
 	position    []int64
 	committed   []int64
 	redelivered int64
+
+	// Incremental mirrors of sum(position) and sum(committed), so lag
+	// queries and fetch-availability checks are O(1) on the healthy path.
+	posTotal       int64
+	committedTotal int64
+
+	chunkFree *Chunk // recycled fetch chunks
+}
+
+// Chunk is one fetch result: the consumed count, any retained concrete
+// payloads inside the consumed spans, and the offset ranges read. Chunks are
+// pooled on the consumer group — callers return them with Release once the
+// batch is durably processed, and the backing slices are reused by later
+// fetches, so steady-state record hand-off allocates nothing.
+type Chunk struct {
+	Count   int64
+	Records []Record
+	Ranges  []OffsetRange
+	next    *Chunk
 }
 
 // NewConsumerGroup returns a group positioned at each partition's current
@@ -308,29 +341,19 @@ func (b *Bus) NewConsumerGroup(topic string) (*ConsumerGroup, error) {
 	for i, p := range t.Partitions {
 		g.position[i] = p.Begin()
 		g.committed[i] = p.Begin()
+		g.posTotal += p.Begin()
+		g.committedTotal += p.Begin()
 	}
 	return g, nil
 }
 
 // Lag returns the total unfetched records across partitions (relative to the
 // consumer position, like Kafka's consumer lag).
-func (g *ConsumerGroup) Lag() int64 {
-	var lag int64
-	for i, p := range g.topic.Partitions {
-		lag += p.End() - g.position[i]
-	}
-	return lag
-}
+func (g *ConsumerGroup) Lag() int64 { return g.topic.totalEnd - g.posTotal }
 
 // CommittedLag returns records not yet durably processed — everything past
 // the committed offsets, including fetched-but-uncommitted spans.
-func (g *ConsumerGroup) CommittedLag() int64 {
-	var lag int64
-	for i, p := range g.topic.Partitions {
-		lag += p.End() - g.committed[i]
-	}
-	return lag
-}
+func (g *ConsumerGroup) CommittedLag() int64 { return g.topic.totalEnd - g.committedTotal }
 
 // Committed returns the committed offset of a partition.
 func (g *ConsumerGroup) Committed(partition int) int64 { return g.committed[partition] }
@@ -344,14 +367,7 @@ func (g *ConsumerGroup) Redelivered() int64 { return g.redelivered }
 
 // FullyCommitted reports whether every produced record has been committed:
 // the "zero records lost" invariant once a run has drained.
-func (g *ConsumerGroup) FullyCommitted() bool {
-	for i, p := range g.topic.Partitions {
-		if g.committed[i] < p.End() {
-			return false
-		}
-	}
-	return true
-}
+func (g *ConsumerGroup) FullyCommitted() bool { return g.committedTotal >= g.topic.totalEnd }
 
 // Fetch consumes up to max records across all live partitions (max <= 0
 // means all available), advancing positions but not committed offsets. It
@@ -360,10 +376,57 @@ func (g *ConsumerGroup) FullyCommitted() bool {
 // once processing succeeds. Partitions in outage are skipped; their backlog
 // stays fetchable after restoration.
 func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
+	var c Chunk
+	g.fetchInto(max, &c)
+	return c.Count, c.Records, c.Ranges
+}
+
+// FetchChunk consumes like Fetch but fills a pooled Chunk whose backing
+// slices are reused across fetches. Release the chunk once its ranges are
+// committed (or abandoned); until then the chunk owns its payload copies, so
+// replay and retry see stable data. Returns nil when nothing is available.
+func (g *ConsumerGroup) FetchChunk(max int64) *Chunk {
+	c := g.chunkFree
+	if c != nil {
+		g.chunkFree = c.next
+		c.next = nil
+		c.Count = 0
+		c.Records = c.Records[:0]
+		c.Ranges = c.Ranges[:0]
+	} else {
+		c = &Chunk{}
+	}
+	g.fetchInto(max, c)
+	if c.Count == 0 {
+		g.Release(c)
+		return nil
+	}
+	return c
+}
+
+// Release returns a chunk to the group's pool. The chunk and its slices
+// must not be used after release.
+func (g *ConsumerGroup) Release(c *Chunk) {
+	if c == nil {
+		return
+	}
+	c.next = g.chunkFree
+	g.chunkFree = c
+}
+
+// fetchInto is the fetch core shared by Fetch and FetchChunk: it appends
+// consumed payloads and ranges to the chunk's slices and advances positions.
+func (g *ConsumerGroup) fetchInto(max int64, c *Chunk) {
 	var avail int64
-	for i, p := range g.topic.Partitions {
-		if !p.down {
-			avail += p.End() - g.position[i]
+	if g.topic.downCount == 0 {
+		// Healthy path: no partition is down, so availability is just the
+		// incremental totals — no per-partition scan.
+		avail = g.topic.totalEnd - g.posTotal
+	} else {
+		for i, p := range g.topic.Partitions {
+			if !p.down {
+				avail += p.End() - g.position[i]
+			}
 		}
 	}
 	want := avail
@@ -371,11 +434,9 @@ func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
 		want = max
 	}
 	if want == 0 {
-		return 0, nil, nil
+		return
 	}
 	var consumed int64
-	var payloads []Record
-	var ranges []OffsetRange
 	// Consume proportionally round-robin across partitions.
 	for i, p := range g.topic.Partitions {
 		if consumed >= want {
@@ -393,19 +454,23 @@ func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
 			take = remaining
 		}
 		from, to := g.position[i], g.position[i]+take
-		for _, rec := range p.SampleTail(0) {
+		// Scan the sample ring in place (oldest first) instead of
+		// materialising a copy per fetch.
+		for j := 0; j < len(p.samples); j++ {
+			rec := &p.samples[(p.sampleHead+j)%len(p.samples)]
 			if rec.Offset >= from && rec.Offset < to {
-				payloads = append(payloads, rec)
+				c.Records = append(c.Records, *rec)
 			}
 		}
-		ranges = append(ranges, OffsetRange{Partition: i, From: from, To: to})
+		c.Ranges = append(c.Ranges, OffsetRange{Partition: i, From: from, To: to})
 		g.position[i] = to
 		consumed += take
 	}
+	g.posTotal += consumed
+	c.Count = consumed
 	if g.topic.obs != nil && consumed > 0 {
-		g.topic.obs.OnFetch(g.topic.Name, consumed, ranges)
+		g.topic.obs.OnFetch(g.topic.Name, consumed, c.Ranges)
 	}
-	return consumed, payloads, ranges
 }
 
 // Commit durably acknowledges processed ranges, advancing committed offsets.
@@ -422,6 +487,7 @@ func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
 			g.committed[r.Partition] = r.To
 		}
 	}
+	g.committedTotal += advanced
 	if g.topic.obs != nil && len(ranges) > 0 {
 		g.topic.obs.OnCommit(g.topic.Name, advanced, ranges)
 	}
@@ -440,6 +506,7 @@ func (g *ConsumerGroup) Rewind(partition int) int64 {
 		return 0
 	}
 	g.position[partition] = g.committed[partition]
+	g.posTotal -= delta
 	g.redelivered += delta
 	if g.topic.obs != nil {
 		g.topic.obs.OnRewind(g.topic.Name, partition, delta)

@@ -273,7 +273,7 @@ type Engine struct {
 	queue    []*batch
 	busy     bool
 	nextID   int64
-	cutEvent *sim.Event
+	cutEvent sim.Event
 
 	history    []BatchStats
 	historyCap int
@@ -306,10 +306,12 @@ type Engine struct {
 }
 
 type batch struct {
-	id         int64
-	records    int64
-	payloads   []broker.Record
-	ranges     []broker.OffsetRange
+	id      int64
+	records int64
+	// chunk carries the fetched payloads and offset ranges; it is released
+	// back to the consumer group's pool when the batch completes or fails.
+	// nil for an empty batch.
+	chunk      *broker.Chunk
 	cutAt      sim.Time
 	cfg        Config
 	first      bool
@@ -538,16 +540,19 @@ func (e *Engine) cutBatch() {
 	if e.stopped {
 		return
 	}
-	n, payloads, ranges := e.group.Fetch(0)
+	c := e.group.FetchChunk(0)
+	var n int64
+	if c != nil {
+		n = c.Count
+	}
 	b := &batch{
-		id:       e.nextID,
-		records:  n,
-		payloads: payloads,
-		ranges:   ranges,
-		cutAt:    e.clock.Now(),
-		cfg:      e.cfg,
-		first:    e.markFirst,
-		faulty:   e.faultInEffect(),
+		id:      e.nextID,
+		records: n,
+		chunk:   c,
+		cutAt:   e.clock.Now(),
+		cfg:     e.cfg,
+		first:   e.markFirst,
+		faulty:  e.faultInEffect(),
 	}
 	e.markFirst = false
 	e.nextID++
@@ -737,6 +742,12 @@ func (e *Engine) failBatch(b *batch) {
 	e.failedRecords += b.records
 	e.busy = false
 	e.onBatchFailed(b)
+	if b.chunk != nil {
+		// The ranges stay uncommitted (the loss is visible in CommittedLag);
+		// only the carrier chunk is recycled.
+		e.group.Release(b.chunk)
+		b.chunk = nil
+	}
 	if e.opts.ShedFactor >= 0 {
 		if mean := e.rates.Mean(); mean > 0 {
 			e.shedRate = e.opts.ShedFactor * mean
@@ -752,11 +763,17 @@ func (e *Engine) failBatch(b *batch) {
 // semantic processing, and notifies listeners.
 func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 	e.busy = false
-	e.group.Commit(b.ranges)
-	e.wl.Model().NoteBatch()
 	var result workload.Result
-	if len(b.payloads) > 0 {
-		result = e.wl.ProcessBatch(b.payloads)
+	if b.chunk != nil {
+		e.group.Commit(b.chunk.Ranges)
+	}
+	e.wl.Model().NoteBatch()
+	if b.chunk != nil {
+		if len(b.chunk.Records) > 0 {
+			result = e.wl.ProcessBatch(b.chunk.Records)
+		}
+		e.group.Release(b.chunk)
+		b.chunk = nil
 	}
 	// start is the successful attempt's dispatch time, so failed attempts
 	// and their backoffs surface as scheduling delay while ProcessingTime

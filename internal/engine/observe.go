@@ -44,6 +44,12 @@ const (
 // *obsState (observability disabled) turns every method into a no-op.
 type obsState struct {
 	tr *tracing.Tracer
+	// traceOn gates trace emission at the call sites: constructing the
+	// tracing.Args map (and Sprintf'ing span names) allocates even when the
+	// tracer is nil, so the metrics-only configuration checks this flag
+	// before building any trace payload. Keeps the no-trace hot path
+	// allocation-free (enforced by TestAllocsObservation).
+	traceOn bool
 
 	recordsProduced  *metrics.Counter
 	recordsFetched   *metrics.Counter
@@ -82,7 +88,8 @@ func newObsState(reg *metrics.Registry, tr *tracing.Tracer) *obsState {
 		return nil
 	}
 	o := &obsState{
-		tr: tr,
+		tr:      tr,
+		traceOn: tr != nil,
 
 		recordsProduced:  reg.Counter("nostop_broker_records_produced_total", "Records appended to broker partition logs"),
 		recordsFetched:   reg.Counter("nostop_broker_records_fetched_total", "Records consumed from the broker by the receiver"),
@@ -131,8 +138,10 @@ func (o *obsState) OnAppend(topic string, partition int, n int64) {
 // batch cut, so a trace instant per call stays cheap.
 func (o *obsState) OnFetch(topic string, n int64, ranges []broker.OffsetRange) {
 	o.recordsFetched.Add(float64(n))
-	o.tr.Instant(PidBroker, TidConsumer, "broker", "fetch",
-		tracing.Args{"records": n, "ranges": len(ranges)})
+	if o.traceOn {
+		o.tr.Instant(PidBroker, TidConsumer, "broker", "fetch",
+			tracing.Args{"records": n, "ranges": len(ranges)})
+	}
 }
 
 // OnCommit implements broker.Observer (offset-range commit).
@@ -143,8 +152,10 @@ func (o *obsState) OnCommit(topic string, n int64, ranges []broker.OffsetRange) 
 // OnRewind implements broker.Observer (outage-triggered replay).
 func (o *obsState) OnRewind(topic string, partition int, redelivered int64) {
 	o.redeliveries.Add(float64(redelivered))
-	o.tr.Instant(PidBroker, TidConsumer, "broker", "rewind",
-		tracing.Args{"partition": partition, "redelivered": redelivered})
+	if o.traceOn {
+		o.tr.Instant(PidBroker, TidConsumer, "broker", "rewind",
+			tracing.Args{"partition": partition, "redelivered": redelivered})
+	}
 }
 
 // OnOutage implements broker.Observer (partition leader down/up).
@@ -152,11 +163,13 @@ func (o *obsState) OnOutage(topic string, partition int, down bool) {
 	if down {
 		o.partitionOutages.Inc()
 	}
-	name := "partition-restored"
-	if down {
-		name = "partition-outage"
+	if o.traceOn {
+		name := "partition-restored"
+		if down {
+			name = "partition-outage"
+		}
+		o.tr.Instant(PidBroker, TidConsumer, "broker", name, tracing.Args{"partition": partition})
 	}
-	o.tr.Instant(PidBroker, TidConsumer, "broker", name, tracing.Args{"partition": partition})
 }
 
 // onBatchCut records a batch entering the queue: the receiver drained the
@@ -171,10 +184,12 @@ func (e *Engine) onBatchCut(b *batch) {
 	o.queueLen.Set(float64(len(e.queue)))
 	o.brokerLag.Set(float64(e.group.Lag()))
 	o.committedLag.Set(float64(e.group.CommittedLag()))
-	o.tr.Instant(PidEngine, TidReceiver, "engine", fmt.Sprintf("cut batch %d", b.id),
-		tracing.Args{"records": b.records, "queue": len(e.queue), "faulty": b.faulty})
-	o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
-	o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidReceiver, "engine", fmt.Sprintf("cut batch %d", b.id),
+			tracing.Args{"records": b.records, "queue": len(e.queue), "faulty": b.faulty})
+		o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
+		o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
+	}
 }
 
 // onAttempt records one resolved execution attempt as a span on the
@@ -185,8 +200,10 @@ func (e *Engine) onAttempt(b *batch, start sim.Time, proc time.Duration, failed 
 		return
 	}
 	o.tasksDispatched.Add(float64(b.tasks))
-	o.tr.Span(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d", b.id), start, proc,
-		tracing.Args{"attempt": b.attempts, "records": b.records, "tasks": b.tasks, "failed": failed})
+	if o.traceOn {
+		o.tr.Span(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d", b.id), start, proc,
+			tracing.Args{"attempt": b.attempts, "records": b.records, "tasks": b.tasks, "failed": failed})
+	}
 }
 
 // onRetry records a transient task-failure retry and its backoff.
@@ -196,8 +213,10 @@ func (e *Engine) onRetry(b *batch, backoff time.Duration) {
 		return
 	}
 	o.taskRetries.Inc()
-	o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("retry batch %d", b.id),
-		tracing.Args{"attempt": b.attempts, "backoff_ms": backoff.Milliseconds()})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("retry batch %d", b.id),
+			tracing.Args{"attempt": b.attempts, "backoff_ms": backoff.Milliseconds()})
+	}
 }
 
 // onSpeculation records a speculative re-execution decision.
@@ -207,7 +226,9 @@ func (e *Engine) onSpeculation(b *batch) {
 		return
 	}
 	o.speculations.Inc()
-	o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("speculate batch %d", b.id), nil)
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("speculate batch %d", b.id), nil)
+	}
 }
 
 // onBatchFailed records a batch abandoned after retry-budget exhaustion.
@@ -217,8 +238,10 @@ func (e *Engine) onBatchFailed(b *batch) {
 		return
 	}
 	o.batchesFailed.Inc()
-	o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d FAILED", b.id),
-		tracing.Args{"attempts": b.attempts, "records": b.records})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d FAILED", b.id),
+			tracing.Args{"attempts": b.attempts, "records": b.records})
+	}
 }
 
 // onShed records an emergency load-shed episode.
@@ -228,8 +251,10 @@ func (e *Engine) onShed(rate float64, until sim.Time) {
 		return
 	}
 	o.shedEvents.Inc()
-	o.tr.Instant(PidEngine, TidReceiver, "engine", "load-shed",
-		tracing.Args{"cap_rate": rate, "until_s": until.Seconds()})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidReceiver, "engine", "load-shed",
+			tracing.Args{"cap_rate": rate, "until_s": until.Seconds()})
+	}
 }
 
 // onBatchComplete records a successful batch: queue-residence span,
@@ -248,12 +273,14 @@ func (e *Engine) onBatchComplete(b *batch, bs BatchStats) {
 	o.liveExecutors.Set(float64(len(e.execs)))
 	o.brokerLag.Set(float64(e.group.Lag()))
 	o.committedLag.Set(float64(e.group.CommittedLag()))
-	if bs.SchedulingDelay > 0 {
-		o.tr.Span(PidEngine, TidReceiver, "engine", fmt.Sprintf("queued batch %d", b.id),
-			b.cutAt, bs.SchedulingDelay, tracing.Args{"records": b.records})
+	if o.traceOn {
+		if bs.SchedulingDelay > 0 {
+			o.tr.Span(PidEngine, TidReceiver, "engine", fmt.Sprintf("queued batch %d", b.id),
+				b.cutAt, bs.SchedulingDelay, tracing.Args{"records": b.records})
+		}
+		o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
+		o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
 	}
-	o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
-	o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
 }
 
 // onReconfigure records an applied configuration change.
@@ -265,8 +292,10 @@ func (e *Engine) onReconfigure(cfg Config) {
 	o.reconfigs.Inc()
 	o.cfgInterval.Set(cfg.BatchInterval.Seconds())
 	o.cfgExecutors.Set(float64(cfg.Executors))
-	o.tr.Instant(PidEngine, TidConfig, "engine", "reconfigure",
-		tracing.Args{"interval_ms": cfg.BatchInterval.Milliseconds(), "executors": cfg.Executors})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidConfig, "engine", "reconfigure",
+			tracing.Args{"interval_ms": cfg.BatchInterval.Milliseconds(), "executors": cfg.Executors})
+	}
 }
 
 // onReallocate records an executor-pool rebuild after a capacity change.
@@ -276,8 +305,10 @@ func (e *Engine) onReallocate() {
 		return
 	}
 	o.liveExecutors.Set(float64(len(e.execs)))
-	o.tr.Instant(PidEngine, TidConfig, "engine", "reallocate",
-		tracing.Args{"live_executors": len(e.execs), "configured": e.cfg.Executors})
+	if o.traceOn {
+		o.tr.Instant(PidEngine, TidConfig, "engine", "reallocate",
+			tracing.Args{"live_executors": len(e.execs), "configured": e.cfg.Executors})
+	}
 }
 
 // onDropped records records rejected by the effective ingest cap.

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFleetSpec feeds arbitrary bytes through the spec pipeline operators
+// ride on: JSON decode, validate, expand, and manifest-bound re-encoding.
+// Decoding must never panic; a spec that decodes must re-encode to a stable
+// fixed point; a spec that expands must produce exactly the cross-product
+// job count with well-formed, deterministic content hashes.
+func FuzzFleetSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"seeds":[1,2],"workloads":["logreg"],"controllers":["nostop"]}`))
+	f.Add([]byte(`{"seeds":[7],"workloads":["wordcount","linreg"],"controllers":["static","nostop"],"horizon":"10m","warmup":0.25}`))
+	f.Add([]byte(`{"seeds":[1],"workloads":["logreg"],"controllers":["nostop"],"traces":[{"kind":"band","min":500,"max":1500,"period":"30s"}],"initials":[{"interval":"2s","executors":4}]}`))
+	f.Add([]byte(`{"seeds":[1],"workloads":["nope"],"controllers":["nostop"]}`))
+	f.Add([]byte(`{"seeds":[1],"workloads":["logreg"],"controllers":["nostop"],"horizon":-5}`))
+	f.Add([]byte(`{"seeds":[1],"workloads":["logreg"],"controllers":["nostop"],"warmup":1.5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // malformed input is fine; it just must not panic
+		}
+
+		// Re-encoding must reach a fixed point: marshal → unmarshal →
+		// marshal yields identical bytes, or manifests would drift.
+		enc1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal of decoded spec failed: %v", err)
+		}
+		var spec2 Spec
+		if err := json.Unmarshal(enc1, &spec2); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+
+		if err := spec.Validate(); err != nil {
+			return // invalid specs are expected; they just must not panic
+		}
+		jobs, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("Validate passed but Expand failed: %v", err)
+		}
+		n := spec.normalized()
+		want := len(n.Seeds) * len(n.Workloads) * len(n.Controllers) *
+			len(n.Traces) * len(n.Plans) * len(n.Initials)
+		if len(jobs) != want {
+			t.Fatalf("Expand produced %d jobs, cross product is %d", len(jobs), want)
+		}
+		for i, j := range jobs {
+			h := j.Hash()
+			if len(h) != 64 {
+				t.Fatalf("job %d hash %q is not 64 hex chars", i, h)
+			}
+			if h != j.Hash() {
+				t.Fatalf("job %d hash is not deterministic", i)
+			}
+		}
+	})
+}

@@ -47,6 +47,16 @@ type UniformBand struct {
 	Min, Max float64
 	Dwell    time.Duration
 	seed     *rng.Stream
+
+	// Single-slot memo: deriving a per-slot stream seeds a fresh
+	// math/rand source (a 607-word lagged-Fibonacci fill), which profiling
+	// shows dominating whole-fleet runs when RateAt is hit every producer
+	// tick. Ticks land in the same dwell slot for seconds at a time, so
+	// caching the last slot's rate removes ~all of that cost while staying
+	// bit-identical (the rate is still a pure function of the slot index).
+	cacheSlot int64
+	cacheRate float64
+	cacheOK   bool
 }
 
 // NewUniformBand returns a band trace; dwell must be positive and max >= min.
@@ -63,9 +73,14 @@ func NewUniformBand(min, max float64, dwell time.Duration, seed *rng.Stream) *Un
 // RateAt implements Trace.
 func (u *UniformBand) RateAt(t sim.Time) float64 {
 	slot := int64(t / sim.Time(u.Dwell))
+	if u.cacheOK && slot == u.cacheSlot {
+		return u.cacheRate
+	}
 	// Derive a per-slot stream so lookups are order-independent.
 	s := u.seed.Split(fmt.Sprintf("slot-%d", slot))
-	return u.Min + (u.Max-u.Min)*s.Float64()
+	rate := u.Min + (u.Max-u.Min)*s.Float64()
+	u.cacheSlot, u.cacheRate, u.cacheOK = slot, rate, true
+	return rate
 }
 
 // Describe implements Trace.

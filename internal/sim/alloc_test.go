@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// Allocation budget: once the free list and container capacities are warm,
+// scheduling and firing events must not allocate. This is the load-bearing
+// property behind the event-pool design — a regression here silently erodes
+// the kernel win, so it fails the test suite instead.
+
+func TestAllocsScheduleFireHeapPath(t *testing.T) {
+	c := NewClock()
+	fn := func() {}
+	// Warm the pool and heap capacity.
+	for i := 0; i < 64; i++ {
+		c.At(c.Now()+Time(i+1), fn)
+	}
+	c.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.At(c.Now()+1, fn)
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("heap-path schedule+fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsScheduleFireFIFOPath(t *testing.T) {
+	c := NewClock()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		c.At(c.Now(), fn) // grow the ring
+	}
+	c.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.At(c.Now(), fn)
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("FIFO-path schedule+fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsTickerTick(t *testing.T) {
+	c := NewClock()
+	tk := c.NewTicker(1, func() {})
+	defer tk.Stop()
+	for i := 0; i < 64; i++ {
+		c.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker tick allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsScheduleCancel(t *testing.T) {
+	c := NewClock()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		c.At(c.Now()+Time(i+1), fn)
+	}
+	c.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := c.At(c.Now()+5, fn)
+		c.Cancel(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"nostop/internal/sim"
+)
+
+// BenchmarkScheduleFire measures the future-due path: heap push, pop,
+// callback dispatch, node recycle.
+func BenchmarkScheduleFire(b *testing.B) {
+	c := sim.NewClock()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(c.Now()+sim.Time(time.Millisecond), fn)
+		c.Step()
+	}
+}
+
+// BenchmarkScheduleFireDeep keeps 1024 events resident so every push/pop
+// sifts through a realistically deep heap.
+func BenchmarkScheduleFireDeep(b *testing.B) {
+	c := sim.NewClock()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		c.At(c.Now()+sim.Time(i+1)*sim.Time(time.Millisecond), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(c.Now()+sim.Time(1025)*sim.Time(time.Millisecond), fn)
+		c.Step()
+	}
+}
+
+// BenchmarkSameTimeBurst measures the due==now FIFO fast path, which
+// bypasses the heap entirely.
+func BenchmarkSameTimeBurst(b *testing.B) {
+	c := sim.NewClock()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(c.Now(), fn)
+		c.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule followed by cancel — the
+// rewind/reschedule pattern controllers use — exercising heap removal and
+// node recycling.
+func BenchmarkScheduleCancel(b *testing.B) {
+	c := sim.NewClock()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := c.At(c.Now()+sim.Time(time.Second), fn)
+		c.Cancel(e)
+	}
+}
+
+// BenchmarkTicker measures periodic-event churn: each tick fires and
+// reschedules through the pool.
+func BenchmarkTicker(b *testing.B) {
+	c := sim.NewClock()
+	tick := func() {}
+	tk := c.NewTicker(time.Millisecond, tick)
+	defer tk.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

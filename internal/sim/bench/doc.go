@@ -1,0 +1,10 @@
+// Package bench holds microbenchmarks for the sim kernel's hot paths:
+// schedule+fire through the 4-ary heap, same-instant FIFO bursts,
+// cancel/recycle, and ticker churn. Run with
+//
+//	go test ./internal/sim/bench -bench . -benchmem
+//
+// The -benchmem allocation columns are the leading indicators for the
+// macro-level BENCH_kernel.json regression gate: any non-zero allocs/op on
+// these paths will show up as wall-clock loss on the fleet sweep.
+package bench

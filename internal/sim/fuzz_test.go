@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// checkInvariants validates the kernel's internal structure: the 4-ary heap
+// property, index back-pointers, FIFO (due, seq) monotonicity, the live
+// counter, and the no-canceled-nodes-in-heap rule.
+func checkInvariants(c *Clock) error {
+	for i, n := range c.heap.a {
+		if n.index != int32(i) {
+			return fmt.Errorf("heap[%d] has index %d", i, n.index)
+		}
+		if n.canceled {
+			return fmt.Errorf("heap[%d] is canceled (heap must remove eagerly)", i)
+		}
+		if n.fn == nil {
+			return fmt.Errorf("heap[%d] has nil fn", i)
+		}
+		if i > 0 {
+			parent := c.heap.a[(i-1)>>2]
+			if eventLess(n, parent) {
+				return fmt.Errorf("heap property violated at %d: (%v,%d) < parent (%v,%d)",
+					i, n.due, n.seq, parent.due, parent.seq)
+			}
+		}
+	}
+	live := len(c.heap.a)
+	var prev *node
+	canceled := 0
+	for i := 0; i < c.fifoLen; i++ {
+		n := c.fifo[(c.fifoHead+i)%len(c.fifo)]
+		if n == nil {
+			return fmt.Errorf("fifo slot %d is nil inside the live window", i)
+		}
+		if n.index != inFIFO {
+			return fmt.Errorf("fifo node %d has index %d, want inFIFO", i, n.index)
+		}
+		if prev != nil && !eventLess(prev, n) {
+			return fmt.Errorf("fifo not (due,seq)-sorted at %d", i)
+		}
+		if n.canceled {
+			canceled++
+		} else {
+			live++
+		}
+		prev = n
+	}
+	if canceled != c.fifoCancel {
+		return fmt.Errorf("fifoCancel = %d, counted %d tombstones", c.fifoCancel, canceled)
+	}
+	if live != c.pending {
+		return fmt.Errorf("pending = %d, counted %d live nodes", c.pending, live)
+	}
+	return nil
+}
+
+// FuzzEventQueue derives an op sequence from the fuzzer's byte string —
+// schedule (same-instant or future), cancel, double-cancel, step — and
+// checks the structural invariants after every operation plus full
+// (due, seq) dequeue ordering at the end.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                      // same-instant burst
+	f.Add([]byte{4, 8, 12, 3, 3, 7})               // interleaved schedule/cancel
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})    // mixed ops
+	f.Add([]byte{255, 254, 253, 0, 128, 64, 32})   // far-future dues
+	f.Add([]byte{2, 2, 2, 1, 1, 1, 3, 3, 3, 0, 0}) // cancel-heavy then burst
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewClock()
+		var handles []Event
+		fired := 0
+		var lastDue Time = -1
+		var lastSeq uint64
+		check := func() {
+			if err := checkInvariants(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range data {
+			switch b % 4 {
+			case 0, 1: // schedule; offset 0 exercises the FIFO fast path
+				offset := Time(b>>2) * Time(time.Millisecond)
+				handles = append(handles, c.At(c.Now()+offset, func() { fired++ }))
+			case 2: // cancel an arbitrary handle (live, fired, or already canceled)
+				if len(handles) > 0 {
+					c.Cancel(handles[int(b>>2)%len(handles)])
+				}
+			case 3: // fire the earliest event, verifying global (due, seq) order
+				before := c.Executed()
+				if n := c.peek(); n != nil {
+					due, seq := n.due, n.seq
+					if due < lastDue || (due == lastDue && seq <= lastSeq && before > 0) {
+						t.Fatalf("dequeue order regressed: (%v,%d) after (%v,%d)", due, seq, lastDue, lastSeq)
+					}
+					lastDue, lastSeq = due, seq
+				}
+				c.Step()
+			}
+			check()
+		}
+		// Drain; every remaining event must come out in nondecreasing order.
+		for {
+			n := c.peek()
+			if n == nil {
+				break
+			}
+			if n.due < lastDue || (n.due == lastDue && n.seq <= lastSeq && c.Executed() > 0) {
+				t.Fatalf("drain order regressed: (%v,%d) after (%v,%d)", n.due, n.seq, lastDue, lastSeq)
+			}
+			lastDue, lastSeq = n.due, n.seq
+			c.Step()
+			check()
+		}
+		if c.Pending() != 0 {
+			t.Fatalf("Pending() = %d after drain", c.Pending())
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nostop/internal/rng"
+)
+
+// Property-based check of the pooled 4-ary heap + FIFO fast path against a
+// reference model: a plain sorted-slice priority queue keyed by (due, seq).
+// Randomized Schedule/Cancel/Reschedule/Run sequences must dequeue in
+// exactly the reference order, including same-instant FIFO bursts and
+// cancel-then-reuse of pooled nodes.
+
+// refEntry mirrors one live scheduled event.
+type refEntry struct {
+	due Time
+	seq uint64
+	id  int
+}
+
+// refModel is the executable specification: an unordered slice scanned for
+// the (due, seq) minimum. O(n) and allocation-happy — which is fine, it only
+// has to be obviously correct.
+type refModel struct {
+	live []refEntry
+}
+
+func (m *refModel) schedule(due Time, seq uint64, id int) {
+	m.live = append(m.live, refEntry{due: due, seq: seq, id: id})
+}
+
+func (m *refModel) cancel(id int) bool {
+	for i, e := range m.live {
+		if e.id == id {
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// popMin removes and returns the entry with the least (due, seq).
+func (m *refModel) popMin() (refEntry, bool) {
+	if len(m.live) == 0 {
+		return refEntry{}, false
+	}
+	min := 0
+	for i := 1; i < len(m.live); i++ {
+		e, best := m.live[i], m.live[min]
+		if e.due < best.due || (e.due == best.due && e.seq < best.seq) {
+			min = i
+		}
+	}
+	e := m.live[min]
+	m.live = append(m.live[:min], m.live[min+1:]...)
+	return e, true
+}
+
+// queueHarness drives a Clock and the reference model in lockstep.
+type queueHarness struct {
+	t       *testing.T
+	c       *Clock
+	model   refModel
+	handles map[int]Event
+	ids     []int // ids with live handles, in creation order
+	nextID  int
+	fired   []int
+}
+
+func newQueueHarness(t *testing.T) *queueHarness {
+	return &queueHarness{t: t, c: NewClock(), handles: map[int]Event{}}
+}
+
+// schedule registers an event at the given due time in both systems.
+func (h *queueHarness) schedule(due Time) {
+	id := h.nextID
+	h.nextID++
+	seq := h.c.seq // the seq the clock will assign
+	ev := h.c.At(due, func() { h.fired = append(h.fired, id) })
+	h.model.schedule(due, seq, id)
+	h.handles[id] = ev
+	h.ids = append(h.ids, id)
+}
+
+// cancel removes a still-tracked event from both systems.
+func (h *queueHarness) cancel(id int) {
+	ev, ok := h.handles[id]
+	if !ok {
+		return
+	}
+	wasLive := h.model.cancel(id)
+	h.c.Cancel(ev)
+	if wasLive && !ev.Canceled() {
+		h.t.Fatalf("Cancel of live event %d not reflected by Canceled()", id)
+	}
+	delete(h.handles, id)
+}
+
+// step fires one event on the clock and checks it against the model's
+// minimum.
+func (h *queueHarness) step() {
+	want, ok := h.model.popMin()
+	stepped := h.c.Step()
+	if stepped != ok {
+		h.t.Fatalf("Step() = %v, model has %d live events", stepped, len(h.model.live)+1)
+	}
+	if !ok {
+		return
+	}
+	if len(h.fired) == 0 {
+		h.t.Fatalf("Step fired nothing; model expected id %d at %v", want.id, want.due)
+	}
+	got := h.fired[len(h.fired)-1]
+	if got != want.id {
+		h.t.Fatalf("dequeue order diverged: fired id %d, model wants id %d (due %v seq %d)",
+			got, want.id, want.due, want.seq)
+	}
+	if h.c.Now() != want.due {
+		h.t.Fatalf("clock at %v after firing event due %v", h.c.Now(), want.due)
+	}
+	delete(h.handles, got)
+}
+
+// drain runs both queues to empty, comparing every dequeue.
+func (h *queueHarness) drain() {
+	for len(h.model.live) > 0 {
+		h.step()
+	}
+	if h.c.Step() {
+		h.t.Fatal("clock still had events after the model drained")
+	}
+	if h.c.Pending() != 0 {
+		h.t.Fatalf("Pending() = %d after drain", h.c.Pending())
+	}
+}
+
+// TestQueueMatchesReferenceModel generates randomized op sequences — biased
+// toward same-instant bursts (due == now) and cancel-then-reuse — and
+// requires the kernel to dequeue in exactly the reference (due, seq) order.
+// Scheduled-event volume across all rounds exceeds 10k.
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	root := rng.New(99).Split("queue-property")
+	const rounds = 60
+	totalScheduled := 0
+	for round := 0; round < rounds; round++ {
+		r := root.Split(fmt.Sprintf("round-%d", round)).Rand()
+		h := newQueueHarness(t)
+		ops := 180 + r.Intn(120)
+		for op := 0; op < ops; op++ {
+			switch k := r.Intn(10); {
+			case k < 5: // schedule, often in a same-instant burst
+				burst := 1
+				if r.Intn(3) == 0 {
+					burst = 2 + r.Intn(6)
+				}
+				for b := 0; b < burst; b++ {
+					due := h.c.Now()
+					if r.Intn(2) == 0 {
+						due += Time(r.Intn(50)) * Time(time.Millisecond)
+					}
+					h.schedule(due)
+					totalScheduled++
+				}
+			case k < 7: // cancel a random tracked event (possibly already fired)
+				if len(h.ids) > 0 {
+					h.cancel(h.ids[r.Intn(len(h.ids))])
+				}
+			case k < 8: // reschedule: cancel + schedule anew, reusing a pooled node
+				if len(h.ids) > 0 {
+					h.cancel(h.ids[r.Intn(len(h.ids))])
+					h.schedule(h.c.Now() + Time(r.Intn(20))*Time(time.Millisecond))
+					totalScheduled++
+				}
+			default: // run a few events
+				steps := 1 + r.Intn(4)
+				for s := 0; s < steps && len(h.model.live) > 0; s++ {
+					h.step()
+				}
+			}
+		}
+		h.drain()
+	}
+	if totalScheduled < 10_000 {
+		t.Fatalf("property rounds scheduled only %d events, want >= 10000", totalScheduled)
+	}
+}
+
+// TestCancelThenReuseHandleIsInert pins the generation-stamp semantics: a
+// handle to a node that has been recycled into a new schedule must neither
+// cancel nor observe the new incarnation.
+func TestCancelThenReuseHandleIsInert(t *testing.T) {
+	c := NewClock()
+	stale := c.At(ms(5), func() { t.Fatal("canceled event fired") })
+	c.Cancel(stale)
+	// The freed node is recycled for the next schedule.
+	fired := false
+	fresh := c.At(ms(7), func() { fired = true })
+	if !stale.Canceled() {
+		t.Error("stale handle should still report Canceled after one reuse")
+	}
+	c.Cancel(stale) // must be a no-op against the new incarnation
+	c.Run()
+	if !fired {
+		t.Fatal("live event was killed by a stale handle's Cancel")
+	}
+	if fresh.Canceled() {
+		t.Error("fired event reports Canceled")
+	}
+}
+
+// TestFIFOCancelMidBurst cancels from the middle of a same-instant burst;
+// the ring must skip the tombstone without disturbing FIFO order.
+func TestFIFOCancelMidBurst(t *testing.T) {
+	c := NewClock()
+	var got []int
+	var evs []Event
+	for i := 0; i < 8; i++ {
+		i := i
+		evs = append(evs, c.At(c.Now(), func() { got = append(got, i) }))
+	}
+	c.Cancel(evs[0])
+	c.Cancel(evs[3])
+	c.Cancel(evs[7])
+	c.Run()
+	want := []int{1, 2, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

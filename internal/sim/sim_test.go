@@ -90,15 +90,15 @@ func TestCancel(t *testing.T) {
 	if !e.Canceled() {
 		t.Error("Canceled() false after Cancel")
 	}
-	// Double cancel and cancel of nil must not panic.
+	// Double cancel and cancel of the zero Event must not panic.
 	c.Cancel(e)
-	c.Cancel(nil)
+	c.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	c := NewClock()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, c.At(ms(i+1), func() { got = append(got, i) }))

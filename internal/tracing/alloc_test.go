@@ -1,0 +1,26 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+
+	"nostop/internal/sim"
+)
+
+// A nil *Tracer is the disabled-tracing configuration; with no args payload
+// every record call must be a zero-allocation no-op. (Call sites that build
+// an Args map must gate on their own traceOn flag — the map literal itself
+// allocates before the method is entered.)
+func TestAllocsNilTracer(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Span(1, 1, "cat", "name", sim.Time(0), time.Millisecond, nil)
+		tr.Instant(1, 1, "cat", "name", nil)
+		tr.Counter(1, "name", nil)
+		tr.NameProcess(1, "p")
+		tr.NameThread(1, 1, "t")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-Tracer ops allocate %.1f/op, want 0", allocs)
+	}
+}

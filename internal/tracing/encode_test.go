@@ -1,0 +1,136 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"nostop/internal/rng"
+)
+
+// encodeOne runs the hand-rolled encoder on a single event.
+func encodeOne(t *testing.T, e *Event) string {
+	t.Helper()
+	buf, err := appendEvent(nil, e)
+	if err != nil {
+		t.Fatalf("appendEvent: %v", err)
+	}
+	return string(buf)
+}
+
+// marshalOne is the reference encoding the golden traces were produced with.
+func marshalOne(t *testing.T, e *Event) string {
+	t.Helper()
+	blob, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	return string(blob)
+}
+
+// TestEncodeMatchesEncodingJSONFixed pins the encoder on the hand-picked
+// hard cases: HTML escapes, control characters, shorthand escapes, U+2028/9
+// line separators, invalid UTF-8, negative and extreme integers, floats,
+// omitempty boundaries.
+func TestEncodeMatchesEncodingJSONFixed(t *testing.T) {
+	dur := int64(12345)
+	zero := int64(0)
+	cases := []Event{
+		{Name: "plain", Ph: "i", Ts: 0, Pid: 1, Tid: 2},
+		{Name: "cat set", Cat: "engine", Ph: "X", Ts: 42, Dur: &dur, Pid: 1, Tid: 1},
+		{Name: "zero dur", Ph: "X", Ts: 42, Dur: &zero, Pid: 1, Tid: 1},
+		{Name: "scope", Ph: "i", Ts: 1, Pid: 1, Tid: 1, S: "t"},
+		{Name: "html <&> \"quoted\" back\\slash", Ph: "i", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "ctrl \x00\x01\x08\x0c\x1f tab\t nl\n cr\r", Ph: "i", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "unicode é 漢字 emoji 🎉", Ph: "i", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "line seps \u2028 and \u2029", Ph: "i", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "bad utf8 \xff\xfe tail", Ph: "i", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "negatives", Ph: "i", Ts: -987654321, Pid: -3, Tid: -4},
+		{Name: "args", Ph: "i", Ts: 1, Pid: 1, Tid: 1, Args: Args{
+			"records": int64(9223372036854775807), "queue": 0, "faulty": true,
+			"rate": 1234.5678, "tiny": 1e-9, "big": 1e21, "neg": -0.25,
+			"label": "a<b>c&d", "nil": nil, "u": uint64(18446744073709551615),
+		}},
+		{Name: "one arg", Ph: "C", Ts: 1, Pid: 1, Tid: 0, Args: Args{"batches": 3}},
+		{Name: "many args", Ph: "i", Ts: 1, Pid: 1, Tid: 1, Args: Args{
+			"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6, "g": 7, "h": 8, "i": 9, "j": 10,
+		}},
+	}
+	for _, e := range cases {
+		e := e
+		got, want := encodeOne(t, &e), marshalOne(t, &e)
+		if got != want {
+			t.Errorf("event %q:\n got  %s\n want %s", e.Name, got, want)
+		}
+	}
+}
+
+// TestEncodeMatchesEncodingJSONRandom drives both encoders with seeded
+// random events — names sampled from a byte alphabet rich in escape-relevant
+// characters, arg values across every type the instrumentation emits — and
+// requires byte equality on all of them.
+func TestEncodeMatchesEncodingJSONRandom(t *testing.T) {
+	r := rng.New(1234).Split("encode-equivalence").Rand()
+	alphabet := []rune{'a', 'z', '"', '\\', '<', '>', '&', '\n', '\t', '\x00', '\x1f',
+		'é', '漢', '\u2028', '\u2029', '\ufffd', '🎉', ' '}
+	randString := func() string {
+		n := r.Intn(12)
+		out := make([]rune, 0, n+1)
+		for i := 0; i < n; i++ {
+			out = append(out, alphabet[r.Intn(len(alphabet))])
+		}
+		s := string(out)
+		if r.Intn(4) == 0 {
+			s += string([]byte{0xff}) // invalid UTF-8 tail
+		}
+		return s
+	}
+	randValue := func() any {
+		switch r.Intn(7) {
+		case 0:
+			return r.Int63() - r.Int63()
+		case 1:
+			return int(r.Intn(1000) - 500)
+		case 2:
+			return r.Float64() * 1e6
+		case 3:
+			return r.Intn(2) == 0
+		case 4:
+			return randString()
+		case 5:
+			return uint64(r.Int63())
+		default:
+			return nil
+		}
+	}
+	phases := []string{PhaseComplete, PhaseInstant, PhaseCounter, PhaseMetadata}
+	for i := 0; i < 2000; i++ {
+		e := Event{
+			Name: randString(),
+			Ph:   phases[r.Intn(len(phases))],
+			Ts:   r.Int63() - r.Int63(),
+			Pid:  r.Intn(10),
+			Tid:  r.Intn(10),
+		}
+		if r.Intn(2) == 0 {
+			e.Cat = randString()
+		}
+		if r.Intn(2) == 0 {
+			d := r.Int63()
+			e.Dur = &d
+		}
+		if r.Intn(2) == 0 {
+			e.S = "t"
+		}
+		if n := r.Intn(6); n > 0 {
+			e.Args = Args{}
+			for j := 0; j < n; j++ {
+				e.Args[fmt.Sprintf("k%d-%s", j, randString())] = randValue()
+			}
+		}
+		got, want := encodeOne(t, &e), marshalOne(t, &e)
+		if got != want {
+			t.Fatalf("iteration %d diverged:\n got  %s\n want %s", i, got, want)
+		}
+	}
+}

@@ -69,11 +69,17 @@ type Event struct {
 // Tracer accumulates events for one run. Not safe for concurrent use: like
 // the rest of the simulator it lives on the single-threaded kernel. A nil
 // *Tracer is a valid no-op sink, so instrumented code runs unconditionally.
+//
+// Events are encoded into buf the moment they are recorded (see encode.go),
+// so the record path performs no per-event allocation once the buffer has
+// grown to steady state, and WriteJSON is a straight byte copy.
 type Tracer struct {
 	clock   *sim.Clock
-	events  []Event
+	buf     []byte // pre-encoded events, joined by ",\n"
+	count   int
 	max     int
 	dropped int
+	err     error // first encode failure, surfaced by WriteJSON
 }
 
 // DefaultMaxEvents bounds tracer memory: a 2 h virtual run at a 1 s batch
@@ -92,16 +98,32 @@ func New(clock *sim.Clock, maxEvents int) *Tracer {
 	return &Tracer{clock: clock, max: maxEvents}
 }
 
-// add appends one event, honouring the cap.
-func (t *Tracer) add(e Event) {
+// add encodes one event into the buffer, honouring the cap. An event whose
+// args fail to serialise is rolled back and the error is surfaced by
+// WriteJSON, matching the export-time failure of the marshal-at-write
+// design.
+func (t *Tracer) add(e *Event) {
 	if t == nil {
 		return
 	}
-	if len(t.events) >= t.max {
+	if t.count >= t.max {
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, e)
+	mark := len(t.buf)
+	if t.count > 0 {
+		t.buf = append(t.buf, ',', '\n')
+	}
+	var err error
+	t.buf, err = appendEvent(t.buf, e)
+	if err != nil {
+		t.buf = t.buf[:mark]
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	t.count++
 }
 
 // micros converts a virtual instant to trace microseconds.
@@ -118,7 +140,8 @@ func (t *Tracer) Span(pid, tid int, cat, name string, start sim.Time, dur time.D
 	if d < 0 {
 		d = 0
 	}
-	t.add(Event{Name: name, Cat: cat, Ph: PhaseComplete, Ts: micros(start), Dur: &d, Pid: pid, Tid: tid, Args: args})
+	e := Event{Name: name, Cat: cat, Ph: PhaseComplete, Ts: micros(start), Dur: &d, Pid: pid, Tid: tid, Args: args}
+	t.add(&e)
 }
 
 // Instant records a zero-duration marker at the current virtual time with
@@ -127,7 +150,8 @@ func (t *Tracer) Instant(pid, tid int, cat, name string, args Args) {
 	if t == nil {
 		return
 	}
-	t.add(Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: micros(t.clock.Now()), Pid: pid, Tid: tid, S: "t", Args: args})
+	e := Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: micros(t.clock.Now()), Pid: pid, Tid: tid, S: "t", Args: args}
+	t.add(&e)
 }
 
 // Counter records a counter sample at the current virtual time; the viewer
@@ -137,7 +161,8 @@ func (t *Tracer) Counter(pid int, name string, values Args) {
 	if t == nil {
 		return
 	}
-	t.add(Event{Name: name, Ph: PhaseCounter, Ts: micros(t.clock.Now()), Pid: pid, Tid: 0, Args: values})
+	e := Event{Name: name, Ph: PhaseCounter, Ts: micros(t.clock.Now()), Pid: pid, Tid: 0, Args: values}
+	t.add(&e)
 }
 
 // NameProcess attaches a human-readable name to a pid lane.
@@ -145,7 +170,8 @@ func (t *Tracer) NameProcess(pid int, name string) {
 	if t == nil {
 		return
 	}
-	t.add(Event{Name: "process_name", Ph: PhaseMetadata, Ts: 0, Pid: pid, Tid: 0, Args: Args{"name": name}})
+	e := Event{Name: "process_name", Ph: PhaseMetadata, Ts: 0, Pid: pid, Tid: 0, Args: Args{"name": name}}
+	t.add(&e)
 }
 
 // NameThread attaches a human-readable name to a (pid, tid) lane.
@@ -153,7 +179,8 @@ func (t *Tracer) NameThread(pid, tid int, name string) {
 	if t == nil {
 		return
 	}
-	t.add(Event{Name: "thread_name", Ph: PhaseMetadata, Ts: 0, Pid: pid, Tid: tid, Args: Args{"name": name}})
+	e := Event{Name: "thread_name", Ph: PhaseMetadata, Ts: 0, Pid: pid, Tid: tid, Args: Args{"name": name}}
+	t.add(&e)
 }
 
 // Len returns the number of recorded events.
@@ -161,7 +188,7 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	return t.count
 }
 
 // Dropped returns how many events the cap rejected.
@@ -176,27 +203,16 @@ func (t *Tracer) Dropped() int {
 // ({"traceEvents": [...]}) in recorded order. The output is byte-identical
 // across same-seed runs.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t != nil && t.err != nil {
+		return t.err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err
 	}
 	if t != nil {
-		for i := range t.events {
-			blob, err := json.Marshal(&t.events[i])
-			if err != nil {
-				return err
-			}
-			if i > 0 {
-				if err := bw.WriteByte(','); err != nil {
-					return err
-				}
-				if err := bw.WriteByte('\n'); err != nil {
-					return err
-				}
-			}
-			if _, err := bw.Write(blob); err != nil {
-				return err
-			}
+		if _, err := bw.Write(t.buf); err != nil {
+			return err
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
