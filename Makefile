@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet trace golden fuzz-smoke verify
+.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,12 @@ chaos:
 	$(GO) run ./cmd/nostop-chaos
 
 ## bench: quick table regeneration plus the fleet scaling benchmark, which
-## writes BENCH_fleet.json (32-job sweep timed at -j 1 vs -j NumCPU), and the
-## kernel hot-path benchmark, which writes BENCH_kernel.json (see PERF.md).
+## writes BENCH_fleet.json (32-job sweep timed at -j 1 vs -j NumCPU, gated at
+## 1.2x on multi-core hosts), and the kernel hot-path benchmark, which writes
+## BENCH_kernel.json (see PERF.md).
 bench:
 	$(GO) run ./cmd/nostop-bench -quick
-	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json
+	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json -min-speedup 1.2
 	$(GO) run ./cmd/nostop-bench -experiment kernel -benchout BENCH_kernel.json
 	$(GO) test ./internal/sim/bench -bench . -benchmem
 
@@ -52,6 +53,17 @@ fleet:
 		-seeds 1-3 -horizon 10m -j 4 -out /tmp/nostop-fleet
 	$(GO) run ./cmd/nostop-fleet -workloads logreg,wordcount -controllers static,nostop \
 		-seeds 1-3 -horizon 10m -j 4 -out /tmp/nostop-fleet -resume -quiet
+
+## serve-soak: the service-mode chaos soak CI runs — a deterministic sim
+## soak replayed for byte-identical metrics, then a wall-mode soak with a
+## live broker kill/restart under the race detector. nostop-serve exits
+## non-zero on any invariant violation.
+serve-soak:
+	$(GO) run ./cmd/nostop-serve -duration 5m -seed 42 -metrics /tmp/nostop-soak-a.prom
+	$(GO) run ./cmd/nostop-serve -duration 5m -seed 42 -metrics /tmp/nostop-soak-b.prom
+	cmp /tmp/nostop-soak-a.prom /tmp/nostop-soak-b.prom
+	$(GO) run -race ./cmd/nostop-serve -mode wall -duration 4m -speedup 20 \
+		-metrics /tmp/nostop-soak-wall.prom -trace /tmp/nostop-soak-wall-trace.json
 
 ## trace: short observed run; nostop-sim validates the emitted file against
 ## the Chrome trace_event schema shape and exits non-zero if it is malformed.

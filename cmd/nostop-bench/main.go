@@ -64,6 +64,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		bench   = flag.String("benchout", "", "output path (-experiment fleet: BENCH_fleet.json, kernel: BENCH_kernel.json)")
+		minSpd  = flag.Float64("min-speedup", 0, "fleet: fail when the host is multi-core and the j=1 vs j=N speedup falls below this floor (0: report only)")
 		record  = flag.Bool("record-baseline", false, "kernel: record this run's wall time as the baseline too")
 		compare = flag.String("compare", "", "kernel: compare against a prior BENCH_kernel.json and fail on >10% regression")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the benchmark sweep to this file")
@@ -93,7 +94,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_fleet.json"
 		}
-		if err := runFleetBench(out); err != nil {
+		if err := runFleetBench(out, *minSpd); err != nil {
 			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
 			os.Exit(1)
 		}
@@ -145,8 +146,11 @@ type fleetBenchResult struct {
 // runFleetBench times the fleet benchmark sweep at -j 1 vs -j NumCPU and
 // writes the result JSON. The sweep itself is fixed (4 workloads x 8 seeds,
 // static controller, 20m horizon = 32 jobs) so numbers are comparable
-// across machines; the speedup reflects the host's core count.
-func runFleetBench(outPath string) error {
+// across machines; the speedup reflects the host's core count. A positive
+// minSpeedup turns the report into a gate on multi-core hosts — a baseline
+// recorded on a single-core box (speedup ~1) says nothing about parallel
+// scaling, so there the gate only prints a notice.
+func runFleetBench(outPath string, minSpeedup float64) error {
 	spec := fleet.Spec{
 		Name:        "bench-fleet",
 		Seeds:       []uint64{1, 2, 3, 4, 5, 6, 7, 8},
@@ -197,6 +201,17 @@ func runFleetBench(outPath string) error {
 	}
 	fmt.Printf("fleet bench: %d jobs, j=1 %.1fs, j=%d %.1fs, speedup %.2fx, manifests identical: %v -> %s\n",
 		res.Jobs, t1, jn, tn, res.Speedup, res.ManifestsIdentical, outPath)
+	if !res.ManifestsIdentical {
+		return fmt.Errorf("fleet benchmark manifests diverged between j=1 and j=%d", jn)
+	}
+	if minSpeedup > 0 {
+		if res.NumCPU < 2 {
+			fmt.Printf("fleet bench: single-core host, speedup gate (>=%.2fx) not judged\n", minSpeedup)
+		} else if res.Speedup < minSpeedup {
+			return fmt.Errorf("fleet benchmark speedup %.2fx below the %.2fx floor on a %d-core host (parallel scaling regression)",
+				res.Speedup, minSpeedup, res.NumCPU)
+		}
+	}
 	return nil
 }
 

@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"nostop/internal/core"
@@ -116,7 +119,29 @@ func run(addr, wlName string, seedN uint64, speedup float64, horizon time.Durati
 
 	fmt.Printf("nostop-listen: %s at %.0fx speed on %s (endpoints: /status /batches /batches/latest /controller)\n",
 		wl.Name(), speedup, addr)
-	return http.ListenAndServe(addr, lockMiddleware(&mu, mux))
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           lockMiddleware(&mu, mux),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+	}
+	// Serve until SIGINT/SIGTERM, then drain in-flight status reads before
+	// exiting, so a curl mid-scrape never sees a reset connection.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("nostop-listen: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
 }
 
 // lockMiddleware serialises HTTP reads against simulation advancement.

@@ -89,10 +89,19 @@ func cutSuffix(s, suffix string) (string, bool) {
 //     each worker goroutine runs a complete, independent single-threaded
 //     simulation on its own clock, and results merge deterministically by
 //     job index, so fleet concurrency can never reorder events inside a run.
+//   - internal/service is exempt from both wallclock and simgoroutine: its
+//     wall mode runs real HTTP servers with real deadlines and pacer
+//     goroutines, all behind the Timebase seam. Sim mode never reaches those
+//     code paths — the deterministic soak tests replay byte-identically,
+//     which is the property the analyzers exist to protect. No other
+//     sim-core package gains wall-clock access (see the allowlist tests).
 func DefaultConfig() *Config {
 	return &Config{
 		Scopes: map[string]Scope{
-			"wallclock": {Only: []string{"nostop/internal/..."}},
+			"wallclock": {
+				Only:   []string{"nostop/internal/..."},
+				Exempt: []string{"nostop/internal/service/..."},
+			},
 			"floateq": {Only: []string{
 				"nostop/internal/core/...",
 				"nostop/internal/spsa/...",
@@ -104,6 +113,7 @@ func DefaultConfig() *Config {
 					"nostop/internal/listener/...",
 					"nostop/internal/metrics/...",
 					"nostop/internal/fleet/...",
+					"nostop/internal/service/...",
 					// cmd packages sit outside Only already; the explicit
 					// entry documents that the fleet CLI's concurrency is
 					// sanctioned, not merely unchecked.

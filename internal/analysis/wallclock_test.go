@@ -10,3 +10,32 @@ import (
 func TestWallClock(t *testing.T) {
 	analysistest.Run(t, analysis.WallClock, "wallclock", nil)
 }
+
+// TestWallClockServiceAllowlist loads the same wall-clock-reading fixture
+// under different import paths and checks DefaultConfig's verdicts: the
+// service layer (real deadlines and pacers behind its Timebase seam) is
+// exempt, while identical code in any other sim-core package — including a
+// sibling of service — still fails nostop-vet.
+func TestWallClockServiceAllowlist(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	cases := []struct {
+		path string
+		want bool // true: findings expected
+	}{
+		{"nostop/internal/service", false},
+		{"nostop/internal/service/rpc", false}, // subtree pattern covers nested packages
+		{"nostop/internal/engine", true},
+		{"nostop/internal/core", true},
+		{"nostop/internal/sim", true},
+		{"nostop/internal/servicex", true}, // prefix must not leak past the path boundary
+	}
+	for _, tc := range cases {
+		diags := analysistest.Diagnostics(t, analysis.WallClock, "wallclock", tc.path, cfg)
+		if tc.want && len(diags) == 0 {
+			t.Errorf("%s: wall-clock read in a sim-core package produced no finding", tc.path)
+		}
+		if !tc.want && len(diags) != 0 {
+			t.Errorf("%s: allowlisted service package still flagged: %v", tc.path, diags)
+		}
+	}
+}

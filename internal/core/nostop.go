@@ -32,6 +32,33 @@ import (
 	"nostop/internal/tracing"
 )
 
+// System is the surface the controller needs from the streaming system it
+// tunes. *engine.Engine satisfies it directly (in-process mode); in service
+// mode a network proxy satisfies it by RPC, so the identical SPSA state
+// machine drives a local simulation and a remote engine process — the
+// bridge ROADMAP item 5 calls for. Implementations must deliver listener
+// callbacks and answer queries on the thread that owns Clock(); the
+// controller performs no synchronisation of its own.
+type System interface {
+	// AddListener subscribes the controller to completed batches.
+	AddListener(engine.Listener)
+	// Clock is the virtual timeline measurements and budgets run on.
+	Clock() *sim.Clock
+	// Config returns the live configuration.
+	Config() engine.Config
+	// ConfigBounds returns the feasible configuration region.
+	ConfigBounds() engine.Bounds
+	// QueueLen returns the number of batches waiting (excluding in-flight).
+	QueueLen() int
+	// RecentRateMean returns the mean observed arrival rate (records/s).
+	RecentRateMean() float64
+	// RecentRateStd returns the arrival-rate standard deviation — §5.5's
+	// reset signal.
+	RecentRateStd() float64
+	// Reconfigure requests a configuration change at the next boundary.
+	Reconfigure(engine.Config) error
+}
+
 // Phase is the controller's state-machine phase.
 type Phase int
 
@@ -231,7 +258,7 @@ type Iteration struct {
 
 // Controller is the NoStop optimizer loop bound to one engine.
 type Controller struct {
-	eng  *engine.Engine
+	eng  System
 	opts Options
 
 	intervalScale spsa.Scale
@@ -298,8 +325,10 @@ type Controller struct {
 	obs *ctlObs // nil when observability is disabled
 }
 
-// New builds a controller for the engine. Call Attach to start optimizing.
-func New(eng *engine.Engine, opts Options) (*Controller, error) {
+// New builds a controller for the engine (any System implementation —
+// in-process *engine.Engine or a service-mode proxy). Call Attach to start
+// optimizing.
+func New(eng System, opts Options) (*Controller, error) {
 	if eng == nil {
 		return nil, errors.New("core: nil engine")
 	}

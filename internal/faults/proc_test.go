@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/metrics"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/tracing"
+)
+
+// fakeTarget records every chaos call with its timestamp and can be told to
+// reject operations on unknown peers.
+type fakeTarget struct {
+	clock *sim.Clock
+	peers map[string]bool
+	ops   []string
+}
+
+func newFakeTarget(clock *sim.Clock, peers ...string) *fakeTarget {
+	t := &fakeTarget{clock: clock, peers: map[string]bool{}}
+	for _, p := range peers {
+		t.peers[p] = true
+	}
+	return t
+}
+
+func (t *fakeTarget) op(format string, args ...any) {
+	t.ops = append(t.ops, fmt.Sprintf("%v %s", t.clock.Now(), fmt.Sprintf(format, args...)))
+}
+
+func (t *fakeTarget) KillPeer(name string) error {
+	if !t.peers[name] {
+		return fmt.Errorf("no such peer %q", name)
+	}
+	t.op("kill %s", name)
+	return nil
+}
+
+func (t *fakeTarget) RestartPeer(name string) error {
+	if !t.peers[name] {
+		return fmt.Errorf("no such peer %q", name)
+	}
+	t.op("restart %s", name)
+	return nil
+}
+
+func (t *fakeTarget) SetLinkFault(from, to string, refuse bool, dropProb float64, delay time.Duration) error {
+	t.op("fault %s->%s refuse=%v drop=%.2f delay=%v", from, to, refuse, dropProb, delay)
+	return nil
+}
+
+func (t *fakeTarget) ClearLinkFault(from, to string) error {
+	t.op("clear %s->%s", from, to)
+	return nil
+}
+
+func TestProcPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan ProcPlan
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"good mix", ProcPlan{
+			{Kind: PeerKill, At: sim.Time(sec(10)), Duration: 30 * time.Second, Peer: "broker"},
+			{Kind: LinkRefuse, At: sim.Time(sec(10)), Duration: 30 * time.Second, From: "controller", To: "engine"},
+			{Kind: LinkDrop, At: sim.Time(sec(60)), Duration: 30 * time.Second, From: "engine", To: "broker", Prob: 0.5},
+			{Kind: LinkDelay, At: sim.Time(sec(120)), Duration: 30 * time.Second, From: "engine", To: "broker", Delay: 100 * time.Millisecond},
+		}, true},
+		{"zero duration", ProcPlan{{Kind: PeerKill, Peer: "broker"}}, false},
+		{"nameless peer", ProcPlan{{Kind: PeerKill, Duration: time.Minute}}, false},
+		{"self link", ProcPlan{{Kind: LinkRefuse, Duration: time.Minute, From: "a", To: "a"}}, false},
+		{"bad drop prob", ProcPlan{{Kind: LinkDrop, Duration: time.Minute, From: "a", To: "b", Prob: 1.5}}, false},
+		{"missing delay", ProcPlan{{Kind: LinkDelay, Duration: time.Minute, From: "a", To: "b"}}, false},
+		{"same-peer kill overlap", ProcPlan{
+			{Kind: PeerKill, At: sim.Time(sec(10)), Duration: time.Minute, Peer: "broker"},
+			{Kind: PeerKill, At: sim.Time(sec(30)), Duration: time.Minute, Peer: "broker"},
+		}, false},
+		// A link carries one fault descriptor, so even different-kind link
+		// faults on the same directed link conflict.
+		{"cross-kind same-link overlap", ProcPlan{
+			{Kind: LinkRefuse, At: sim.Time(sec(10)), Duration: time.Minute, From: "a", To: "b"},
+			{Kind: LinkDrop, At: sim.Time(sec(30)), Duration: time.Minute, From: "a", To: "b", Prob: 0.5},
+		}, false},
+		{"opposite directions may overlap", ProcPlan{
+			{Kind: LinkRefuse, At: sim.Time(sec(10)), Duration: time.Minute, From: "a", To: "b"},
+			{Kind: LinkRefuse, At: sim.Time(sec(30)), Duration: time.Minute, From: "b", To: "a"},
+		}, true},
+		{"kill and link on same peer may overlap", ProcPlan{
+			{Kind: PeerKill, At: sim.Time(sec(10)), Duration: time.Minute, Peer: "broker"},
+			{Kind: LinkDrop, At: sim.Time(sec(30)), Duration: time.Minute, From: "engine", To: "broker", Prob: 0.5},
+		}, true},
+		// Half-open windows: one ending exactly when the next starts is
+		// back-to-back, not overlapping.
+		{"touching windows", ProcPlan{
+			{Kind: PeerKill, At: sim.Time(sec(10)), Duration: 20 * time.Second, Peer: "broker"},
+			{Kind: PeerKill, At: sim.Time(sec(30)), Duration: 20 * time.Second, Peer: "broker"},
+		}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestProcInjectorDrivesTarget(t *testing.T) {
+	clock := sim.NewClock()
+	target := newFakeTarget(clock, "broker", "engine", "controller")
+	plan := ProcPlan{
+		{Kind: PeerKill, At: sim.Time(sec(10)), Duration: 20 * time.Second, Peer: "broker"},
+		{Kind: LinkDrop, At: sim.Time(sec(40)), Duration: 10 * time.Second, From: "controller", To: "engine", Prob: 0.5},
+	}
+	inj, err := AttachProc(target, ClockSchedule{Clock: clock}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	tr := tracing.New(clock, 1<<10)
+	inj.Observe(reg, tr)
+
+	clock.RunUntil(sim.Time(sec(15)))
+	if inj.Active() != 1 {
+		t.Fatalf("active %d during kill window, want 1", inj.Active())
+	}
+	clock.RunUntil(sim.Time(sec(60)))
+	if inj.Active() != 0 || inj.Injected() != len(plan) {
+		t.Fatalf("active=%d injected=%d after plan, want 0/%d", inj.Active(), inj.Injected(), len(plan))
+	}
+	want := []string{
+		"10s kill broker",
+		"30s restart broker",
+		"40s fault controller->engine refuse=false drop=0.50 delay=0s",
+		"50s clear controller->engine",
+	}
+	if got := strings.Join(target.ops, "\n"); got != strings.Join(want, "\n") {
+		t.Fatalf("target ops:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+	if got := len(inj.Timeline()); got != 2*len(plan) {
+		t.Fatalf("timeline has %d entries, want %d", got, 2*len(plan))
+	}
+	exp := reg.String()
+	for _, want := range []string{
+		`nostop_proc_faults_injected_total{kind="peer-kill"} 1`,
+		`nostop_proc_faults_injected_total{kind="link-drop"} 1`,
+		"nostop_proc_faults_active 0",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no trace events for applied windows")
+	}
+}
+
+func TestAttachProcRejectsBadInput(t *testing.T) {
+	clock := sim.NewClock()
+	target := newFakeTarget(clock, "broker")
+	if _, err := AttachProc(nil, ClockSchedule{Clock: clock}, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := AttachProc(target, nil, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	bad := ProcPlan{{Kind: PeerKill, Duration: time.Minute}}
+	if _, err := AttachProc(target, ClockSchedule{Clock: clock}, bad); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestProcChaosDeterminism(t *testing.T) {
+	opts := ProcChaosOptions{
+		Horizon: 10 * time.Minute,
+		Peers:   []string{"broker", "engine", "controller"},
+	}
+	a := ProcChaos(rng.New(9).Split("x"), opts)
+	b := ProcChaos(rng.New(9).Split("x"), opts)
+	if len(a) == 0 {
+		t.Fatal("chaos generated an empty plan over ten minutes")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("chaos plan invalid: %v", err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("identical seeds produced different proc chaos plans")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(ProcChaos(rng.New(10).Split("x"), opts)) {
+		t.Fatal("different seeds produced identical proc chaos plans")
+	}
+	for _, f := range a {
+		if f.At < sim.Time(opts.Horizon/4) {
+			t.Fatalf("fault %v starts inside the warmup quarter", f)
+		}
+		if f.End() > sim.Time(opts.Horizon) {
+			t.Fatalf("fault %v runs past the horizon", f)
+		}
+	}
+	if ProcChaos(rng.New(9).Split("x"), ProcChaosOptions{Peers: opts.Peers}) != nil {
+		t.Fatal("zero horizon should generate no plan")
+	}
+	if ProcChaos(rng.New(9).Split("x"), ProcChaosOptions{Horizon: time.Hour}) != nil {
+		t.Fatal("no peers should generate no plan")
+	}
+}
+
+func TestProcChaosSinglePeerKillsOnly(t *testing.T) {
+	plan := ProcChaos(rng.New(3).Split("x"), ProcChaosOptions{
+		Horizon: 30 * time.Minute,
+		Peers:   []string{"broker"},
+	})
+	if len(plan) == 0 {
+		t.Fatal("empty single-peer plan")
+	}
+	for _, f := range plan {
+		if f.Kind != PeerKill {
+			t.Fatalf("single-peer plan drew a link fault: %v", f)
+		}
+	}
+}

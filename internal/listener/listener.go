@@ -46,7 +46,11 @@ type BatchReport struct {
 	TotalDelayMs      int64   `json:"totalDelayMs"`
 	EndToEndDelayMs   int64   `json:"endToEndDelayMs"`
 	FirstAfterChange  bool    `json:"firstAfterReconfig"`
-	QueueLength       int     `json:"queueLength"`
+	// FaultActive mirrors BatchStats.FaultActive so a remote controller
+	// (service mode) can apply the same failure-aware measurement
+	// admission a co-located one does.
+	FaultActive bool `json:"faultActive"`
+	QueueLength int  `json:"queueLength"`
 }
 
 // Report converts engine batch stats into the JSON report form.
@@ -62,6 +66,7 @@ func Report(bs engine.BatchStats) BatchReport {
 		TotalDelayMs:      (bs.ProcessingTime + bs.SchedulingDelay).Milliseconds(),
 		EndToEndDelayMs:   bs.EndToEndDelay.Milliseconds(),
 		FirstAfterChange:  bs.FirstAfterReconfig,
+		FaultActive:       bs.FaultActive,
 		QueueLength:       bs.QueueLen,
 	}
 }
@@ -141,6 +146,28 @@ func (c *Collector) Reports() []BatchReport {
 	return append([]BatchReport(nil), c.reports...)
 }
 
+// ReportsSince returns the retained reports with BatchID strictly greater
+// than after, in completion order — the incremental-poll primitive a remote
+// controller uses to tail the batch stream without re-reading history.
+// Batch IDs are monotone, so a binary search finds the cut point.
+func (c *Collector) ReportsSince(after int64) []BatchReport {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo, hi := 0, len(c.reports)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.reports[mid].BatchID <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.reports) {
+		return nil
+	}
+	return append([]BatchReport(nil), c.reports[lo:]...)
+}
+
 // Latest returns the most recent report; ok is false when none exist.
 func (c *Collector) Latest() (BatchReport, bool) {
 	c.mu.RLock()
@@ -181,7 +208,8 @@ func (c *Collector) Status() Status {
 // Handler returns an http.Handler exposing:
 //
 //	GET /status          live Status JSON
-//	GET /batches         all retained reports (?last=N for the tail)
+//	GET /batches         all retained reports (?last=N for the tail,
+//	                     ?since=ID for reports with BatchID > ID)
 //	GET /batches/latest  the most recent report
 //	GET /metrics         Prometheus text exposition: the attached registry
 //	                     (SetRegistry) followed by the legacy summary gauges
@@ -218,6 +246,15 @@ func (c *Collector) Handler() http.Handler {
 		writeJSON(w, c.Status())
 	})
 	mux.HandleFunc("GET /batches", func(w http.ResponseWriter, r *http.Request) {
+		if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+			since, err := strconv.ParseInt(sinceStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, c.ReportsSince(since))
+			return
+		}
 		reports := c.Reports()
 		if lastStr := r.URL.Query().Get("last"); lastStr != "" {
 			last, err := strconv.Atoi(lastStr)

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"nostop/internal/metrics"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/tracing"
+)
+
+// Request is one JSON-over-HTTP exchange's request half.
+type Request struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Response is the reply half. Status 0 means no reply arrived.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Transport delivers a request to a peer and invokes done exactly once with
+// the outcome — or never, if the exchange is dropped (the client's deadline
+// covers that case). done must be invoked inside the calling component's
+// execution context (sim event loop or component mutex).
+type Transport interface {
+	RoundTrip(req Request, done func(Response, error))
+}
+
+// ClientOptions tunes the resilient RPC client. Zero values select the
+// defaults noted per field.
+type ClientOptions struct {
+	// Timeout is the per-attempt deadline (default 1s).
+	Timeout time.Duration
+	// MaxAttempts bounds attempts per Call, first try included (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 100ms); attempt n waits
+	// base·2^(n-1), capped at BackoffMax (default 2s), jittered to
+	// [d/2, d) so synchronized retry storms decorrelate.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit (default 5); BreakerCooldown is how long it stays open before
+	// admitting a half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Jitter seeds backoff jitter. In sim mode pass a split of the run's
+	// root stream so retry schedules replay deterministically; nil disables
+	// jitter (full backoff, still deterministic).
+	Jitter *rng.Stream
+	// Metrics and Trace observe attempts, retries, and breaker transitions;
+	// both optional. Pid selects the owner's trace lane.
+	Metrics *metrics.Registry
+	Trace   *traceSink
+	Pid     int
+}
+
+func (o *ClientOptions) fill() {
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Client is the resilient RPC client: per-attempt deadlines, bounded
+// exponential backoff with jitter, and a consecutive-failure circuit
+// breaker, all scheduled through a Timebase so the identical code path is
+// deterministic in sim mode and real-time in wall mode.
+//
+// A Client belongs to one component and must only be used from that
+// component's execution context; it holds no locks of its own.
+type Client struct {
+	link string // "owner->peer", the metrics/trace identity
+	tb   Timebase
+	tr   Transport
+	o    ClientOptions
+
+	state       breakerState
+	consecFails int
+	openedAt    sim.Time
+	probeBusy   bool
+
+	mAttempts  *metrics.Counter
+	mFailures  *metrics.Counter
+	mRetries   *metrics.Counter
+	mFastFails *metrics.Counter
+	mTrans     [3]*metrics.Counter // indexed by breakerState
+	gOpen      *metrics.Gauge
+}
+
+// NewClient builds a client owned by component owner calling component peer.
+func NewClient(owner, peer string, tb Timebase, tr Transport, o ClientOptions) *Client {
+	o.fill()
+	c := &Client{link: owner + "->" + peer, tb: tb, tr: tr, o: o}
+	if reg := o.Metrics; reg != nil {
+		l := metrics.L("link", c.link)
+		c.mAttempts = reg.Counter("nostop_rpc_attempts_total", "RPC attempts sent", l)
+		c.mFailures = reg.Counter("nostop_rpc_attempt_failures_total", "RPC attempts that timed out or errored", l)
+		c.mRetries = reg.Counter("nostop_rpc_retries_total", "RPC attempts that were backed-off retries", l)
+		c.mFastFails = reg.Counter("nostop_rpc_fastfail_total", "RPC calls rejected locally by an open circuit", l)
+		for st := breakerClosed; st <= breakerHalfOpen; st++ {
+			c.mTrans[st] = reg.Counter("nostop_rpc_breaker_transitions_total",
+				"Circuit breaker state transitions", l, metrics.L("to", st.String()))
+		}
+		c.gOpen = reg.Gauge("nostop_rpc_breaker_open", "1 while the circuit is open", l)
+	}
+	return c
+}
+
+// State returns the breaker state string (for snapshots and tests).
+func (c *Client) State() string { return c.state.String() }
+
+// Call performs one logical RPC: it retries transient failures with jittered
+// backoff, fails fast while the breaker is open, and finally invokes done
+// exactly once with the response body or the terminal error. A 4xx reply is
+// delivered as an error but counts as wire success (the peer is alive).
+func (c *Client) Call(method, path string, body []byte, done func([]byte, error)) {
+	if !c.admit() {
+		c.mFastFails.Inc()
+		done(nil, ErrCircuitOpen)
+		return
+	}
+	c.attempt(method, path, body, 1, done)
+}
+
+// admit applies the breaker policy, moving open→half-open after the
+// cooldown and admitting a single in-flight probe while half-open.
+func (c *Client) admit() bool {
+	if c.state == breakerOpen && c.tb.Now()-c.openedAt >= sim.Time(c.o.BreakerCooldown) {
+		c.setState(breakerHalfOpen)
+		c.probeBusy = false
+	}
+	switch c.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		if c.probeBusy {
+			return false
+		}
+		c.probeBusy = true
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Client) attempt(method, path string, body []byte, n int, done func([]byte, error)) {
+	c.mAttempts.Inc()
+	var settled bool
+	var cancelDeadline func()
+	finish := func(resp Response, err error) {
+		if settled {
+			return
+		}
+		settled = true
+		if cancelDeadline != nil {
+			cancelDeadline()
+		}
+		if err == nil && resp.Status < 500 {
+			c.onSuccess()
+			if resp.Status >= 400 {
+				done(nil, fmt.Errorf("service: %s %s: %s (status %d)",
+					method, path, string(resp.Body), resp.Status))
+				return
+			}
+			done(resp.Body, nil)
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("service: %s %s: status %d", method, path, resp.Status)
+		}
+		c.mFailures.Inc()
+		c.onFailure()
+		if n >= c.o.MaxAttempts || c.state != breakerClosed {
+			done(nil, fmt.Errorf("%s %s attempt %d/%d: %w", method, path, n, c.o.MaxAttempts, err))
+			return
+		}
+		c.mRetries.Inc()
+		c.tb.After(c.backoff(n), func() {
+			if !c.admit() {
+				c.mFastFails.Inc()
+				done(nil, fmt.Errorf("%w (while retrying: %v)", ErrCircuitOpen, err))
+				return
+			}
+			c.attempt(method, path, body, n+1, done)
+		})
+	}
+	cancelDeadline = c.tb.After(c.o.Timeout, func() { finish(Response{}, ErrTimeout) })
+	c.tr.RoundTrip(Request{Method: method, Path: path, Body: body}, finish)
+}
+
+// backoff returns the jittered delay before attempt n+1.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.o.BackoffBase << (n - 1)
+	if d > c.o.BackoffMax || d <= 0 { // <=0 guards shift overflow
+		d = c.o.BackoffMax
+	}
+	if c.o.Jitter != nil {
+		d = d/2 + time.Duration(c.o.Jitter.Float64()*float64(d/2))
+	}
+	return d
+}
+
+func (c *Client) onSuccess() {
+	c.consecFails = 0
+	if c.state == breakerHalfOpen {
+		c.probeBusy = false
+		c.setState(breakerClosed)
+	}
+}
+
+func (c *Client) onFailure() {
+	switch c.state {
+	case breakerHalfOpen:
+		c.probeBusy = false
+		c.openedAt = c.tb.Now()
+		c.setState(breakerOpen)
+	case breakerClosed:
+		c.consecFails++
+		if c.consecFails >= c.o.BreakerThreshold {
+			c.openedAt = c.tb.Now()
+			c.setState(breakerOpen)
+		}
+	}
+}
+
+func (c *Client) setState(s breakerState) {
+	if s == c.state {
+		return
+	}
+	c.state = s
+	c.consecFails = 0
+	c.mTrans[s].Inc()
+	if c.gOpen != nil {
+		if s == breakerOpen {
+			c.gOpen.Set(1)
+		} else {
+			c.gOpen.Set(0)
+		}
+	}
+	c.o.Trace.instant(c.o.Pid, TidRPC, "rpc", "breaker-"+s.String(),
+		tracing.Args{"link": c.link})
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+)
+
+// okHandler answers every request with 200 {"ok":true}.
+func okHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func newTestClient(t *testing.T, o ClientOptions) (*sim.Clock, *SimNet, *Client) {
+	t.Helper()
+	clock := sim.NewClock()
+	net := NewSimNet(clock, rng.New(7).Split("net"))
+	net.Register("peer", okHandler())
+	o.Jitter = rng.New(7).Split("jitter")
+	return clock, net, NewClient("me", "peer", SimTimebase{Clock: clock}, net.Transport("me", "peer"), o)
+}
+
+// call drives one Call to completion on the sim clock and returns its
+// terminal error.
+func call(clock *sim.Clock, c *Client) error {
+	var got error
+	fired := false
+	c.Call("GET", "/healthz", nil, func(_ []byte, err error) {
+		fired = true
+		got = err
+	})
+	clock.RunUntil(clock.Now() + sim.Time(time.Minute))
+	if !fired {
+		return errors.New("call never completed")
+	}
+	return got
+}
+
+func TestClientSuccess(t *testing.T) {
+	clock, _, c := newTestClient(t, ClientOptions{})
+	if err := call(clock, c); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+	if got := c.State(); got != "closed" {
+		t.Fatalf("breaker %s after success, want closed", got)
+	}
+}
+
+func TestClientRetriesThenRecovers(t *testing.T) {
+	clock, net, c := newTestClient(t, ClientOptions{
+		Timeout: 100 * time.Millisecond, MaxAttempts: 3,
+		BackoffBase: 50 * time.Millisecond, BreakerThreshold: 10,
+	})
+	// Drop the first attempt's exchange ~always; the retry succeeds once
+	// the fault is cleared mid-call by a scheduled heal.
+	net.SetLink("me", "peer", LinkFault{DropProb: 1})
+	clock.After(120*time.Millisecond, func() { net.SetLink("me", "peer", LinkFault{}) })
+	if err := call(clock, c); err != nil {
+		t.Fatalf("call with one dropped attempt failed: %v", err)
+	}
+	if v := c.mRetries.Value(); v != 0 { // no registry attached: nil counter
+		t.Fatalf("nil counter returned %v", v)
+	}
+}
+
+func TestClientBreakerOpensAndFastFails(t *testing.T) {
+	clock, net, c := newTestClient(t, ClientOptions{
+		Timeout: 100 * time.Millisecond, MaxAttempts: 2,
+		BackoffBase: 50 * time.Millisecond, BreakerThreshold: 3,
+		// Longer than the call helper's 1-minute drain, so the breaker is
+		// still inside its cooldown when the fast-fail is asserted.
+		BreakerCooldown: 10 * time.Minute,
+	})
+	net.SetDown("peer", true)
+	// Two calls × two attempts = 4 failures ≥ threshold 3: breaker opens.
+	for i := 0; i < 2; i++ {
+		if err := call(clock, c); err == nil {
+			t.Fatal("call against a down peer succeeded")
+		}
+	}
+	if got := c.State(); got != "open" {
+		t.Fatalf("breaker %s after %d failures, want open", got, c.consecFails)
+	}
+	// Within the cooldown: instantaneous local rejection.
+	var fastErr error
+	c.Call("GET", "/healthz", nil, func(_ []byte, err error) { fastErr = err })
+	if !errors.Is(fastErr, ErrCircuitOpen) {
+		t.Fatalf("fast-fail error = %v, want ErrCircuitOpen", fastErr)
+	}
+}
+
+func TestClientHalfOpenProbeRecovery(t *testing.T) {
+	clock, net, c := newTestClient(t, ClientOptions{
+		Timeout: 100 * time.Millisecond, MaxAttempts: 1,
+		BreakerThreshold: 2, BreakerCooldown: 1 * time.Second,
+	})
+	net.SetDown("peer", true)
+	for i := 0; i < 2; i++ {
+		_ = call(clock, c)
+	}
+	if got := c.State(); got != "open" {
+		t.Fatalf("breaker %s, want open", got)
+	}
+	// Probe while still down: half-open reopens.
+	clock.RunUntil(clock.Now() + sim.Time(2*time.Second))
+	if err := call(clock, c); err == nil {
+		t.Fatal("probe against a down peer succeeded")
+	}
+	if got := c.State(); got != "open" {
+		t.Fatalf("breaker %s after failed probe, want open", got)
+	}
+	// Peer recovers: next probe closes the breaker.
+	net.SetDown("peer", false)
+	clock.RunUntil(clock.Now() + sim.Time(2*time.Second))
+	if err := call(clock, c); err != nil {
+		t.Fatalf("probe after recovery failed: %v", err)
+	}
+	if got := c.State(); got != "closed" {
+		t.Fatalf("breaker %s after recovery, want closed", got)
+	}
+}
+
+func TestClientDeterministicRetrySchedule(t *testing.T) {
+	// Same seed ⇒ identical retry timing, event for event.
+	run := func() []sim.Time {
+		clock := sim.NewClock()
+		net := NewSimNet(clock, rng.New(11).Split("net"))
+		net.Register("peer", okHandler())
+		net.SetDown("peer", true)
+		c := NewClient("me", "peer", SimTimebase{Clock: clock}, net.Transport("me", "peer"),
+			ClientOptions{Timeout: 200 * time.Millisecond, MaxAttempts: 4,
+				BackoffBase: 100 * time.Millisecond, BreakerThreshold: 10,
+				Jitter: rng.New(11).Split("jitter")})
+		var marks []sim.Time
+		done := func(_ []byte, _ error) { marks = append(marks, clock.Now()) }
+		c.Call("GET", "/x", nil, done)
+		c.Call("GET", "/y", nil, done)
+		clock.RunUntil(sim.Time(time.Minute))
+		return marks
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("calls did not complete: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry schedule diverged: run1 %v run2 %v", a, b)
+		}
+	}
+}
+
+func TestFeedTraceConservesRecords(t *testing.T) {
+	f := &FeedTrace{}
+	sec := func(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+	f.Add(sec(1), time.Second, 1000)
+	// Overlapping add (latency jitter): clipped, count preserved.
+	f.Add(sec(1.5), time.Second, 500)
+	if f.Total() != 1500 {
+		t.Fatalf("total %d, want 1500", f.Total())
+	}
+	// Integrate over the full span with a Stepper-aware walk.
+	total := 0.0
+	for t0 := sec(0); t0 < sec(5); {
+		next := f.NextChange(t0)
+		if next > sec(5) {
+			next = sec(5)
+		}
+		total += f.RateAt(t0) * time.Duration(next-t0).Seconds()
+		t0 = next
+	}
+	if total < 1499.9 || total > 1500.1 {
+		t.Fatalf("integrated %f records, want 1500", total)
+	}
+	if got := f.RateAt(sec(0.5)); got != 0 {
+		t.Fatalf("rate before first segment = %f, want 0", got)
+	}
+	if got := f.NextChange(sec(10)); got != sim.Infinity {
+		t.Fatalf("NextChange past all segments = %v, want Infinity", got)
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nostop/internal/rng"
+)
+
+// WallNet is the real network: peers are base URLs on 127.0.0.1, exchanges
+// ride real TCP connections, and link faults are applied client-side at the
+// RPC layer (the same layer SimNet applies them), so the chaos surface is
+// identical in both modes. It is safe for concurrent use — transports are
+// driven from component goroutines while the chaos injector rewrites gates
+// from the supervisor goroutine.
+type WallNet struct {
+	mu     sync.Mutex
+	urls   map[string]string
+	gates  map[string]*wallGate
+	seed   *rng.Stream
+	client *http.Client
+	// reqTimeout bounds the raw HTTP exchange; it is set above the RPC
+	// client's per-attempt deadline so the Timebase deadline stays
+	// authoritative and this is only a goroutine-leak backstop.
+	reqTimeout time.Duration
+}
+
+// wallGate holds one directed link's mutable fault and its seeded drop
+// stream, guarded for concurrent writer (chaos) vs reader (transport).
+type wallGate struct {
+	mu   sync.Mutex
+	f    LinkFault
+	drop *rng.Stream
+}
+
+// roll snapshots the fault and draws the drop decision atomically.
+func (g *wallGate) roll() (LinkFault, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.f.DropProb > 0 && g.drop != nil && g.drop.Float64() < g.f.DropProb {
+		return g.f, true
+	}
+	return g.f, false
+}
+
+// NewWallNet builds a wall-mode network. reqTimeout should exceed the RPC
+// per-attempt deadline (pass 0 for a 10s default).
+func NewWallNet(seed *rng.Stream, reqTimeout time.Duration) *WallNet {
+	if reqTimeout <= 0 {
+		reqTimeout = 10 * time.Second
+	}
+	return &WallNet{
+		urls:  make(map[string]string),
+		gates: make(map[string]*wallGate),
+		seed:  seed,
+		client: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+		},
+		reqTimeout: reqTimeout,
+	}
+}
+
+// SetURL announces (or updates) a peer's base URL, e.g. "http://127.0.0.1:7101".
+// An empty URL marks the peer unreachable.
+func (n *WallNet) SetURL(name, base string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.urls[name] = base
+}
+
+func (n *WallNet) url(name string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.urls[name]
+}
+
+// SetLink installs a fault on the directed link from→to (zero value heals).
+func (n *WallNet) SetLink(from, to string, f LinkFault) {
+	g := n.gate(from + "->" + to)
+	g.mu.Lock()
+	g.f = f
+	g.mu.Unlock()
+}
+
+func (n *WallNet) gate(key string) *wallGate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.gates[key]
+	if g == nil {
+		g = &wallGate{}
+		if n.seed != nil {
+			g.drop = n.seed.Split("net/drop/" + key)
+		}
+		n.gates[key] = g
+	}
+	return g
+}
+
+// Transport returns the directed-link transport for an owner component.
+// locked must run its argument inside the owner's execution context (the
+// component mutex); RPC completions re-enter through it.
+func (n *WallNet) Transport(from, to string, locked func(func())) Transport {
+	return &wallLink{n: n, to: to, gate: n.gate(from + "->" + to), locked: locked}
+}
+
+type wallLink struct {
+	n      *WallNet
+	to     string
+	gate   *wallGate
+	locked func(func())
+}
+
+// RoundTrip implements Transport. The exchange runs on its own goroutine so
+// the caller's lock is never held across network I/O; done re-enters via
+// locked. A dropped exchange spawns nothing and never calls done.
+func (l *wallLink) RoundTrip(req Request, done func(Response, error)) {
+	f, dropped := l.gate.roll()
+	if dropped {
+		return
+	}
+	body := append([]byte(nil), req.Body...)
+	go func() {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Refuse {
+			l.locked(func() { done(Response{}, ErrRefused) })
+			return
+		}
+		base := l.n.url(l.to)
+		if base == "" {
+			l.locked(func() { done(Response{}, ErrRefused) })
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), l.n.reqTimeout)
+		defer cancel()
+		hreq, err := http.NewRequestWithContext(ctx, req.Method, base+req.Path, bytes.NewReader(body))
+		if err != nil {
+			l.locked(func() { done(Response{}, err) })
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := l.n.client.Do(hreq)
+		if err != nil {
+			l.locked(func() { done(Response{}, err) })
+			return
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			l.locked(func() { done(Response{}, err) })
+			return
+		}
+		l.locked(func() { done(Response{Status: resp.StatusCode, Body: respBody}, nil) })
+	}()
+}
