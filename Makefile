@@ -4,16 +4,18 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke verify
+.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke verify
 
 build:
 	$(GO) build ./...
 
 ## vet: standard go vet plus the repo's determinism-contract analyzers
-## (wallclock, randsource, maporder, floateq, simgoroutine — see DESIGN.md §5d).
+## (wallclock, randsource, maporder, floateq, simgoroutine, hotalloc,
+## lockguard, obscontract — see DESIGN.md §5d). -time prints load and
+## per-analyzer wall time so a pass that suddenly dominates is visible.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/nostop-vet ./...
+	$(GO) run ./cmd/nostop-vet -time ./...
 
 test:
 	$(GO) test ./...
@@ -71,4 +73,16 @@ trace:
 	$(GO) run ./cmd/nostop-sim -horizon 10m -report 10m \
 		-trace /tmp/nostop-trace.json -metrics /tmp/nostop-metrics.prom
 
-verify: build vet test race trace
+## escape-smoke: pin the sim kernel's heap-escape profile. The compiler's -m
+## diagnostics (line numbers stripped, sorted) must match the checked-in
+## allowlist; a new "escapes to heap" line is either a hot-path regression or
+## a deliberate change that updates internal/sim/escape_allowlist.txt. The
+## exact diagnostics can shift across Go compiler releases — regenerate the
+## allowlist when upgrading the toolchain.
+escape-smoke:
+	$(GO) build -gcflags='-m' ./internal/sim/... 2>&1 \
+		| grep 'escapes to heap' | sed -E 's/:[0-9]+:[0-9]+:/:/' | sort \
+		> /tmp/nostop-escapes.txt
+	diff -u internal/sim/escape_allowlist.txt /tmp/nostop-escapes.txt
+
+verify: build vet test race escape-smoke trace

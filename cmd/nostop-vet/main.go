@@ -1,5 +1,5 @@
 // Command nostop-vet checks the repository against the determinism contract:
-// the five custom static analyzers in internal/analysis, run over every
+// the eight custom static analyzers in internal/analysis, run over every
 // package in the module (tests included) with the repository's default
 // package allowlists.
 //
@@ -7,6 +7,7 @@
 //	nostop-vet -list          list analyzers and exit
 //	nostop-vet -analyzers a,b run a subset
 //	nostop-vet -tests=false   skip _test.go files
+//	nostop-vet -time          report per-analyzer wall time on stderr
 //
 // Findings print one per line, position-sorted, and the exit status is 1 when
 // there are any — so CI can gate on it. Suppress an individual finding with a
@@ -23,7 +24,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"nostop/internal/analysis"
 )
@@ -32,6 +35,7 @@ func main() {
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	timed := flag.Bool("time", false, "report load and per-analyzer wall time on stderr")
 	flag.Parse()
 
 	if *list {
@@ -68,11 +72,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loadStart := time.Now()
 	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: *tests})
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.Check(pkgs, analyzers, analysis.DefaultConfig())
+	if *timed {
+		fmt.Fprintf(os.Stderr, "nostop-vet: load+typecheck %v\n", time.Since(loadStart).Round(time.Millisecond))
+	}
+	diags := check(pkgs, analyzers, *timed)
 	for _, d := range diags {
 		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			d.Pos.Filename = rel
@@ -84,6 +92,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "nostop-vet: %d packages, %d analyzers, no findings\n", len(pkgs), len(analyzers))
+}
+
+// check runs the analyzers, one Check call per analyzer when timing is on so
+// each pass's wall time can be attributed, then restores the global
+// position-sorted order the single-call path produces.
+func check(pkgs []*analysis.Package, analyzers []*analysis.Analyzer, timed bool) []analysis.Diagnostic {
+	cfg := analysis.DefaultConfig()
+	if !timed {
+		return analysis.Check(pkgs, analyzers, cfg)
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		start := time.Now()
+		diags = append(diags, analysis.Check(pkgs, []*analysis.Analyzer{a}, cfg)...)
+		fmt.Fprintf(os.Stderr, "nostop-vet: %-14s %v\n", a.Name, time.Since(start).Round(time.Millisecond))
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
 }
 
 func findModuleRoot(dir string) (string, error) {

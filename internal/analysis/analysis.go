@@ -15,15 +15,41 @@
 //	floateq      — flags ==/!= between floats in control-flow conditions
 //	simgoroutine — flags go statements and sync imports in simulation packages
 //
+// Three further analyzers protect the performance and observability
+// contracts layered on top of determinism:
+//
+//	hotalloc     — rejects allocation-shaped constructs in //nostop:hotpath
+//	               functions and their same-package callees
+//	lockguard    — fields annotated '// guarded by <mu>' may only be
+//	               accessed while the named sibling mutex is held
+//	obscontract  — metric/span names must be compile-time constants;
+//	               Observer implementations keep nil-safe receivers
+//
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis API
 // shape (Analyzer, Pass, Reportf) but is built on the standard library alone:
 // the repository has no external dependencies, and the vet tool must not be
 // the first thing to break that.
 //
+// # Annotation grammar
+//
 // A finding can be suppressed where the code is deliberately outside the
 // contract with a comment on the flagged line or the line above it:
 //
 //	//nostop:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// An allow covers exactly its own source line and the one below it — a
+// finding positioned deeper inside a multi-line expression is not covered
+// (see TestSuppressionEdgeCases, which pins this). The same comment in a
+// function's *doc comment* exempts the whole function for the hotalloc and
+// lockguard analyzers; for hotalloc it also stops hot-path propagation
+// through that function.
+//
+// Two marker annotations extend the contract rather than suppress it:
+//
+//	//nostop:hotpath        (function doc comment) — the function and its
+//	                        same-package callees must not allocate
+//	// guarded by <mu>      (struct field comment) — accesses require the
+//	                        named sibling mutex to be held
 //
 // Package-level exemptions (e.g. internal/listener may use sync) live in the
 // Config allowlists; see DefaultConfig.

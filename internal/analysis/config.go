@@ -95,9 +95,16 @@ func cutSuffix(s, suffix string) (string, bool) {
 //     code paths — the deterministic soak tests replay byte-identically,
 //     which is the property the analyzers exist to protect. No other
 //     sim-core package gains wall-clock access (see the allowlist tests).
+//   - hotalloc and obscontract: only internal packages carry the zero-alloc
+//     and bounded-cardinality contracts — the cmd/ binaries and examples/
+//     format human output, where an allocation or a Sprintf label is fine.
+//   - lockguard runs everywhere: it only fires on fields that opt in with a
+//     '// guarded by <mu>' annotation, so an unannotated package is free.
 func DefaultConfig() *Config {
 	return &Config{
 		Scopes: map[string]Scope{
+			"hotalloc":    {Only: []string{"nostop/internal/..."}},
+			"obscontract": {Only: []string{"nostop/internal/..."}},
 			"wallclock": {
 				Only:   []string{"nostop/internal/..."},
 				Exempt: []string{"nostop/internal/service/..."},

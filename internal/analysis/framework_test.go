@@ -41,6 +41,19 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"randsource", "nostop/cmd/nostop-chaos", true},
 		{"maporder", "nostop", true},
 		{"maporder", "nostop/cmd/nostop-bench", true},
+
+		{"hotalloc", "nostop/internal/sim", true},
+		{"hotalloc", "nostop/internal/engine", true},
+		{"hotalloc", "nostop/cmd/nostop-sim", false}, // binaries are off the 0-alloc budget
+		{"hotalloc", "nostop", false},
+
+		{"obscontract", "nostop/internal/engine", true},
+		{"obscontract", "nostop/internal/service", true},
+		{"obscontract", "nostop/cmd/nostop-bench", false},
+
+		{"lockguard", "nostop/internal/service", true}, // opt-in by annotation: runs everywhere
+		{"lockguard", "nostop/cmd/nostop-listen", true},
+		{"lockguard", "nostop", true},
 	}
 	for _, c := range cases {
 		if got := cfg.Applies(c.analyzer, c.pkg); got != c.want {

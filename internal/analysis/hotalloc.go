@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc keeps the zero-allocation kernel honest at vet time. Functions
+// annotated //nostop:hotpath in their doc comment — and every same-package
+// function they transitively call — are rejected for allocation-shaped
+// constructs: composite literals whose address is taken, map and slice
+// literals, new/make, closure and bound-method-value creation, interface
+// boxing at call sites, implicit variadic slices, string concatenation in
+// loops, map iteration, and append growth inside loops. The AllocsPerRun
+// budget tests catch a regression after it lands; this pass rejects the
+// shape of the regression before it runs.
+//
+// The analyzer is deliberately conservative: some flagged constructs are
+// stack-allocated in practice (a non-escaping closure, an append into a
+// pooled buffer). Those carry a line-level //nostop:allow hotalloc with a
+// reason, which doubles as documentation of why the allocation is
+// acceptable. A //nostop:allow hotalloc in a function's *doc comment*
+// exempts the whole function and stops hot-path propagation through it —
+// the escape hatch for opt-in cold branches such as trace emission.
+// Appends to []byte are exempt wholesale: amortized byte-buffer encoding
+// is the kernel's own pooled idiom.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "reject allocation-shaped constructs in //nostop:hotpath functions and " +
+		"their same-package callees; the 0-alloc kernel's contract at vet time",
+	SkipTestFiles: true,
+	Run:           runHotAlloc,
+}
+
+const hotpathMarker = "//nostop:hotpath"
+
+// hasMarker reports whether the doc comment group carries the given
+// //nostop: marker as a standalone comment line.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, marker); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcLevelAllow reports whether fn's doc comment carries a
+// //nostop:allow naming the analyzer (or "all"): the whole function is
+// exempt from that analyzer.
+func funcLevelAllow(fd *ast.FuncDecl, analyzer string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, allowPrefix)
+		if !ok {
+			continue
+		}
+		names, _, _ := strings.Cut(text, "--")
+		for _, name := range strings.FieldsFunc(names, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		}) {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if hasMarker(fd.Doc, hotpathMarker) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Propagate hot-path status through the same-package call graph: a
+	// function referenced (called, or taken as a func value) from a hot
+	// function runs on the hot path too. via records how each function
+	// became hot, for the diagnostic message.
+	via := map[*types.Func]string{}
+	var hot []*types.Func // every hot function, in discovery order
+	for _, r := range roots {
+		if _, ok := via[r]; !ok {
+			via[r] = ""
+			hot = append(hot, r)
+		}
+	}
+	for i := 0; i < len(hot); i++ {
+		fn := hot[i]
+		fd := decls[fn]
+		if funcLevelAllow(fd, pass.Analyzer.Name) {
+			continue // exempt functions do not propagate either
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch x := n.(type) {
+			case *ast.Ident:
+				id = x
+			case *ast.SelectorExpr:
+				id = x.Sel
+			default:
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, ok := decls[callee]; !ok {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				via[callee] = fn.Name()
+				hot = append(hot, callee)
+			}
+			return true
+		})
+	}
+
+	// Deterministic report order: the sink sorts by position, but walk
+	// functions in source order anyway so message construction is stable.
+	sortFuncsByPos(pass, hot, decls)
+	for _, fn := range hot {
+		fd := decls[fn]
+		if funcLevelAllow(fd, pass.Analyzer.Name) {
+			continue
+		}
+		suffix := ""
+		if v := via[fn]; v != "" {
+			suffix = " (hot path via " + v + ")"
+		}
+		checkHotFunc(pass, fd, suffix)
+	}
+}
+
+func sortFuncsByPos(pass *Pass, fns []*types.Func, decls map[*types.Func]*ast.FuncDecl) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && decls[fns[j]].Pos() < decls[fns[j-1]].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}
+
+// checkHotFunc reports every allocation-shaped construct in one hot function.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, suffix string) {
+	info := pass.TypesInfo
+
+	// Pre-collect loop body spans so the loop-sensitive checks (string
+	// concatenation, append growth) know their context.
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, l.Body)
+		case *ast.RangeStmt:
+			loops = append(loops, l.Body)
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// callFuns marks selector expressions that are the function operand of
+	// a call, so the bound-method-value check only fires on method values
+	// that escape as closures.
+	callFuns := map[ast.Expr]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&%s composite literal allocates in hot path%s",
+						litName(lit), suffix)
+				}
+			}
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(x.Pos(), "map literal allocates in hot path%s", suffix)
+				case *types.Slice:
+					pass.Reportf(x.Pos(), "slice literal allocates its backing array in hot path%s", suffix)
+				}
+			}
+
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal allocates a closure in hot path%s", suffix)
+
+		case *ast.SelectorExpr:
+			if callFuns[x] {
+				return true
+			}
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.MethodVal {
+				pass.Reportf(x.Pos(), "bound method value %s allocates a closure in hot path%s",
+					x.Sel.Name, suffix)
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x.X) && inLoop(x.Pos()) {
+				pass.Reportf(x.Pos(), "string concatenation in a loop allocates in hot path%s", suffix)
+			}
+
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) && inLoop(x.Pos()) {
+				pass.Reportf(x.Pos(), "string concatenation in a loop allocates in hot path%s", suffix)
+			}
+
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "map iteration in hot path%s", suffix)
+				}
+			}
+
+		case *ast.CallExpr:
+			callFuns[unparen(x.Fun)] = true
+			checkHotCall(pass, info, x, inLoop, suffix)
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped allocation patterns: new/make/append
+// builtins, conversions to interface types, interface boxing of arguments,
+// and implicit variadic slices.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop func(token.Pos) bool, suffix string) {
+	fun := unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "new(...) allocates in hot path%s", suffix)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot path%s", suffix)
+			case "append":
+				if inLoop(call.Pos()) && !isByteSlice(info, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"append inside a loop grows without preallocation in hot path%s", suffix)
+				}
+			}
+			return
+		}
+	}
+
+	// Conversion T(x): boxing when T is an interface type.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes (allocates) in hot path%s",
+				types.TypeString(tv.Type, nil), suffix)
+		}
+		return
+	}
+
+	sig, ok := funcSignature(info, fun)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	nparams := params.Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= nparams-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			if sl, ok := params.At(nparams - 1).Type().(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < nparams:
+			param = params.At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		if boxes(info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s in hot path%s",
+				types.TypeString(param, nil), suffix)
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) > nparams-1 {
+		pass.Reportf(call.Pos(), "implicit variadic slice allocates in hot path%s", suffix)
+	}
+}
+
+// boxes reports whether passing arg to an interface-typed slot allocates:
+// the static type is concrete and not pointer-shaped, and the value is not
+// a compile-time constant (constants box from static storage).
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	t := tv.Type
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func funcSignature(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func litName(lit *ast.CompositeLit) string {
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return "composite"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc", nil)
+}
+
+// TestHotAllocKernelScope loads the same alloc-heavy hotpath fixture under
+// different import paths and checks DefaultConfig's fence: inside
+// nostop/internal/... the allocations are findings, while the identical code
+// in a command or the module root passes (binaries are off the 0-alloc
+// budget).
+func TestHotAllocKernelScope(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	cases := []struct {
+		path string
+		want bool // true: findings expected
+	}{
+		{"nostop/internal/sim", true},
+		{"nostop/internal/broker", true},
+		{"nostop/cmd/nostop-sim", false},
+		{"nostop", false},
+	}
+	for _, tc := range cases {
+		diags := analysistest.Diagnostics(t, analysis.HotAlloc, "hotalloc", tc.path, cfg)
+		if tc.want && len(diags) == 0 {
+			t.Errorf("%s: hotpath allocations in a kernel package produced no finding", tc.path)
+		}
+		if !tc.want && len(diags) != 0 {
+			t.Errorf("%s: package outside the kernel fence still flagged: %v", tc.path, diags)
+		}
+	}
+}

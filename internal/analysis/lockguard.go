@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces documented lock discipline. A struct field annotated
+//
+//	comp engine.Component // guarded by mu
+//
+// names a sibling sync.Mutex/RWMutex field; every read or write of the
+// annotated field must happen while that mutex is held *on the same base
+// expression* (p.comp requires p.mu to be held). The tracking is
+// intra-function, flow-ordered, and conservative: branches and loop bodies
+// inherit the held set but do not leak acquisitions out, function literals
+// start with an empty held set (a closure may run anywhere), and a deferred
+// Unlock keeps the lock held to the end of the function.
+//
+// Escape hatches: functions named New*/new* (constructors publish the value
+// before it is shared), a //nostop:allow lockguard in a function's doc
+// comment (for whole functions that run before or outside sharing, e.g.
+// sim-mode paths on the single-threaded event loop), and line-level
+// //nostop:allow lockguard comments for individual accesses.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated '// guarded by <mu>' may only be accessed while the " +
+		"named sibling mutex is held on the same receiver",
+	SkipTestFiles: true,
+	Run:           runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockGuard(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+				continue // constructor escape hatch
+			}
+			if funcLevelAllow(fd, pass.Analyzer.Name) {
+				continue
+			}
+			w := &lockWalker{pass: pass, guards: guards}
+			w.block(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// collectGuards maps each annotated field object to the name of its guarding
+// mutex field.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if group == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockWalker walks statements in source order, tracking which mutexes are
+// held as a set of rendered expressions ("p.mu", "c.procs.mu", ...).
+type lockWalker struct {
+	pass   *Pass
+	guards map[*types.Var]string
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+// copyHeld gives branches their own view: acquisitions inside a branch are
+// visible within it but never leak past the join point.
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(x.List, held)
+	case *ast.ExprStmt:
+		if mu, op, ok := lockCall(w.pass.TypesInfo, x.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			}
+			return
+		}
+		w.expr(x.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lockCall(w.pass.TypesInfo, x.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return // deferred unlock: lock stays held to function end
+		}
+		w.expr(x.Call.Fun, map[string]bool{}) // deferred body runs later
+		for _, a := range x.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		w.expr(x.Call.Fun, map[string]bool{}) // goroutine body runs concurrently
+		for _, a := range x.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(x.Init, held)
+		w.expr(x.Cond, held)
+		w.stmt(x.Body, copyHeld(held))
+		w.stmt(x.Else, copyHeld(held))
+	case *ast.ForStmt:
+		w.stmt(x.Init, held)
+		if x.Cond != nil {
+			w.expr(x.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmt(x.Body, body)
+		w.stmt(x.Post, body)
+	case *ast.RangeStmt:
+		w.expr(x.X, held)
+		w.stmt(x.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(x.Init, held)
+		if x.Tag != nil {
+			w.expr(x.Tag, held)
+		}
+		for _, c := range x.Body.List {
+			w.block(c.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(x.Init, held)
+		w.stmt(x.Assign, held)
+		for _, c := range x.Body.List {
+			w.block(c.(*ast.CaseClause).Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			sub := copyHeld(held)
+			w.stmt(cc.Comm, sub)
+			w.block(cc.Body, sub)
+		}
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range x.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(x.X, held)
+	case *ast.SendStmt:
+		w.expr(x.Chan, held)
+		w.expr(x.Value, held)
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt, held)
+	}
+}
+
+// expr checks every guarded-field access inside e against the held set.
+// Function literals are re-analyzed with an empty held set.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.block(x.Body.List, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			sel, ok := w.pass.TypesInfo.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, guarded := w.guards[field]
+			if !guarded {
+				return true
+			}
+			need := types.ExprString(x.X) + "." + mu
+			if !held[need] {
+				w.pass.Reportf(x.Sel.Pos(),
+					"field %s is guarded by %s but accessed without holding it",
+					x.Sel.Name, need)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall recognizes <expr>.<mu>.Lock/RLock/Unlock/RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the rendered mutex expression and
+// the operation name.
+func lockCall(info *types.Info, e ast.Expr) (mu, op string, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	fun, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okType := info.Types[fun.X]
+	if !okType || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(fun.X), fun.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, analysis.LockGuard, "lockguard", nil)
+}
+
+// TestLockGuardRunsEverywhere: lockguard is opt-in by annotation, so
+// DefaultConfig applies it to every package — commands included.
+func TestLockGuardRunsEverywhere(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	for _, path := range []string{"nostop/internal/service", "nostop/cmd/nostop-listen", "nostop"} {
+		diags := analysistest.Diagnostics(t, analysis.LockGuard, "lockguard", path, cfg)
+		if len(diags) == 0 {
+			t.Errorf("%s: guarded-field violations produced no finding", path)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+func TestObsContract(t *testing.T) {
+	analysistest.Run(t, analysis.ObsContract, "obscontract", nil)
+}
+
+// TestObsContractScope: the observability contract fences to
+// nostop/internal/... under DefaultConfig; commands may label ad-hoc series.
+func TestObsContractScope(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"nostop/internal/engine", true},
+		{"nostop/cmd/nostop-sim", false},
+	}
+	for _, tc := range cases {
+		diags := analysistest.Diagnostics(t, analysis.ObsContract, "obscontract", tc.path, cfg)
+		if tc.want && len(diags) == 0 {
+			t.Errorf("%s: contract violations produced no finding", tc.path)
+		}
+		if !tc.want && len(diags) != 0 {
+			t.Errorf("%s: package outside the fence still flagged: %v", tc.path, diags)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package analysis
 
-// All returns every determinism-contract analyzer, in report order.
+// All returns every contract analyzer, in report order: the five
+// determinism passes from PR 2 plus the hot-path allocation, lock-discipline
+// and observer-contract passes.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, MapOrder, RandSource, SimGoroutine, WallClock}
+	return []*Analyzer{FloatEq, HotAlloc, LockGuard, MapOrder, ObsContract, RandSource, SimGoroutine, WallClock}
 }
 
 // ByName returns the named analyzer, or nil.

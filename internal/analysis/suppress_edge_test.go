@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"nostop/internal/analysis"
+	"nostop/internal/analysis/analysistest"
+)
+
+// TestSuppressionEdgeCases pins the exact line coverage of //nostop:allow
+// (documented in the package comment of internal/analysis): the comment's
+// own line plus the line directly below, nothing further.
+//
+//  1. An allow above a multi-line expression suppresses only the finding on
+//     the expression's first line; a finding on a deeper line stays.
+//  2. Two analyzers firing on one line with an allow naming just one of
+//     them: only the named analyzer is silenced.
+func TestSuppressionEdgeCases(t *testing.T) {
+	wallLine := edgeLine(t, "EDGE-WALLCLOCK")
+	randLine := edgeLine(t, "EDGE-RANDSOURCE")
+
+	wall := analysistest.Diagnostics(t, analysis.WallClock, "suppress_edge", "fixture/suppress_edge", nil)
+	if len(wall) != 1 || wall[0].Pos.Line != wallLine {
+		t.Errorf("wallclock: want exactly one finding on the deeper line %d of the multi-line expression, got %v",
+			wallLine, wall)
+	} else if !strings.Contains(wall[0].Message, "time.Now") {
+		t.Errorf("wallclock: finding is not the uncovered time.Now: %v", wall[0])
+	}
+
+	rand := analysistest.Diagnostics(t, analysis.RandSource, "suppress_edge", "fixture/suppress_edge", nil)
+	if len(rand) != 1 || rand[0].Pos.Line != randLine {
+		t.Errorf("randsource: want exactly one finding on line %d (allow names wallclock only), got %v",
+			randLine, rand)
+	} else if !strings.Contains(rand[0].Message, "rand") {
+		t.Errorf("randsource: unexpected finding: %v", rand[0])
+	}
+}
+
+// edgeLine locates a marker comment in the suppress_edge fixture, so the
+// test does not hard-code line numbers.
+func edgeLine(t *testing.T, marker string) int {
+	t.Helper()
+	pkg, err := analysis.LoadDir("testdata/src/suppress_edge", "fixture/suppress_edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if strings.Contains(c.Text, marker) {
+					return pkg.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	t.Fatalf("no %s marker in suppress_edge fixture", marker)
+	return 0
+}

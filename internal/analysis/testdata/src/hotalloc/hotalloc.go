@@ -1,0 +1,81 @@
+// Package hotallocfixture exercises the hotalloc analyzer: an annotated
+// root, same-package propagation, the []byte append exemption, and both
+// suppression levels (line allow, func-doc allow).
+package hotallocfixture
+
+type point struct{ x, y int }
+
+type empty interface{}
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func consume(v empty) {}
+
+func variadic(vs ...int) {}
+
+// hot is the annotated root: every allocation-shaped construct inside it is
+// a finding, with no "via" suffix.
+//
+//nostop:hotpath
+func hot(dst []int, bs []byte, names []string) {
+	p := &point{1, 2} // want "&point composite literal allocates in hot path"
+	_ = p
+	m := map[string]int{"a": 1} // want "map literal allocates in hot path"
+	s := []int{1, 2, 3}         // want "slice literal allocates its backing array in hot path"
+	_ = s
+	f := func() {} // want "function literal allocates a closure in hot path"
+	f()
+	c := counter{} // struct literal by value stays on the stack: fine
+	g := c.bump    // want "bound method value bump allocates a closure in hot path"
+	g()
+	acc := ""
+	for i := 0; i < len(names); i++ {
+		acc += names[i] // want "string concatenation in a loop allocates in hot path"
+	}
+	_ = acc
+	for k := range m { // want "map iteration in hot path"
+		_ = k
+	}
+	q := new(point) // want "new\(...\) allocates in hot path"
+	_ = q
+	buf := make([]int, 4) // want "make allocates in hot path"
+	_ = buf
+	for i := 0; i < 3; i++ {
+		dst = append(dst, i)     // want "append inside a loop grows without preallocation in hot path"
+		bs = append(bs, byte(i)) // []byte append: the pooled-buffer encoding idiom is exempt
+	}
+	_ = bs
+	e := empty(c) // want "conversion to interface .*empty boxes \(allocates\) in hot path"
+	_ = e
+	consume(c.n)      // want "argument boxes a concrete value into interface .*empty in hot path"
+	consume(42)       // constant: boxes from static storage, fine
+	variadic(1, 2, 3) // want "implicit variadic slice allocates in hot path"
+	variadic(dst...)  // slice passed through: fine
+	helper()
+	coldTrace()
+	//nostop:allow hotalloc -- fixture: pooled refill, documented exception
+	pool := &point{} // line allow above covers this line
+	_ = pool
+}
+
+// helper inherits hot-path status by being called from hot.
+func helper() *point {
+	return &point{} // want "&point composite literal allocates in hot path \(hot path via hot\)"
+}
+
+// coldTrace is called from hot but exempt wholesale; the exemption also
+// stops propagation, so deep stays cold.
+//
+//nostop:allow hotalloc -- fixture: opt-in cold branch off the budget path
+func coldTrace() {
+	_ = &point{} // func-level allow: no finding
+	deep()
+}
+
+// deep is reachable only through the exempt coldTrace: not hot.
+func deep() *point { return &point{} }
+
+// cold is never referenced from a hot function: not hot.
+func cold() map[string]int { return map[string]int{} }

@@ -1,0 +1,104 @@
+// Package lockguardfixture exercises the lockguard analyzer: held and
+// deferred-held accesses, branch-scoped acquisitions, instance and mutex
+// mismatches, the constructor hatch, closures, and both allow levels.
+package lockguardfixture
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	val   int // guarded by mu
+	free  int
+}
+
+type rwbox struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+func locked(b *box) int {
+	b.mu.Lock()
+	v := b.val // held: fine
+	b.mu.Unlock()
+	return v
+}
+
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val // deferred unlock keeps the lock held to function end: fine
+}
+
+func rlocked(b *rwbox) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val // read lock counts: fine
+}
+
+func unlocked(b *box) int {
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func afterUnlock(b *box) int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func branchScoped(b *box, cond bool) int {
+	if cond {
+		b.mu.Lock()
+		b.val = 1 // acquired earlier in this branch: fine
+		b.mu.Unlock()
+	}
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func branchLeak(b *box, cond bool) int {
+	if cond {
+		b.mu.Lock()
+	}
+	// The acquisition above must not leak past the join point.
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func wrongInstance(a, b *box) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func wrongMutex(b *box) int {
+	b.other.Lock()
+	defer b.other.Unlock()
+	return b.val // want "field val is guarded by b.mu but accessed without holding it"
+}
+
+func closure(b *box) func() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() int {
+		// A closure may run anywhere: it starts with an empty held set.
+		return b.val // want "field val is guarded by b.mu but accessed without holding it"
+	}
+}
+
+// NewBox publishes before sharing: the constructor hatch skips it.
+func NewBox() *box {
+	b := &box{}
+	b.val = 7 // constructor: fine
+	return b
+}
+
+// simOnly runs on the single-threaded event loop.
+//
+//nostop:allow lockguard -- fixture: sim-mode path, mutex unused by design
+func simOnly(b *box) int { return b.val }
+
+func lineAllowed(b *box) int {
+	//nostop:allow lockguard -- fixture: documented exception
+	return b.val
+}
+
+func freeAccess(b *box) int { return b.free } // unguarded field: fine

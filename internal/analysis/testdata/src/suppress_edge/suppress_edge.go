@@ -1,0 +1,26 @@
+// Package suppressedge pins the exact coverage of a //nostop:allow comment:
+// its own line and the line directly below — deeper lines of a multi-line
+// expression are not covered, and an allow naming one analyzer leaves other
+// analyzers' findings on the covered line intact. TestSuppressionEdgeCases
+// locates the EDGE markers instead of hard-coding line numbers.
+package suppressedge
+
+import (
+	"math/rand" //nostop:allow randsource -- fixture: import under test below
+	"time"
+)
+
+// multiLine: the allow covers the time.Since on the next line; the time.Now
+// on the line after that stays flagged.
+func multiLine() time.Duration {
+	//nostop:allow wallclock -- fixture: covers only the next line
+	return time.Since(
+		time.Now()) // EDGE-WALLCLOCK: finding expected here
+}
+
+// oneLineTwoAnalyzers: the allow names wallclock only; randsource still
+// flags the very same line.
+func oneLineTwoAnalyzers() (time.Time, int) {
+	//nostop:allow wallclock -- fixture: clock read acknowledged, rand is not
+	return time.Now(), rand.Intn(10) // EDGE-RANDSOURCE: finding expected here
+}

@@ -257,6 +257,7 @@ func (b *Bus) NewProducer(topic string) (*Producer, error) {
 
 // Send appends one concrete record and returns it (with partition/offset
 // assigned).
+//nostop:hotpath
 func (p *Producer) Send(key, value string, t sim.Time) Record {
 	part := p.topic.Partitions[p.next]
 	p.next = (p.next + 1) % len(p.topic.Partitions)
@@ -265,6 +266,7 @@ func (p *Producer) Send(key, value string, t sim.Time) Record {
 
 // SendCount appends n payload-less records spread as evenly as possible
 // across partitions. Used for bulk rate simulation.
+//nostop:hotpath
 func (p *Producer) SendCount(n int64) {
 	if n <= 0 {
 		return
@@ -385,6 +387,7 @@ func (g *ConsumerGroup) Fetch(max int64) (int64, []Record, []OffsetRange) {
 // slices are reused across fetches. Release the chunk once its ranges are
 // committed (or abandoned); until then the chunk owns its payload copies, so
 // replay and retry see stable data. Returns nil when nothing is available.
+//nostop:hotpath
 func (g *ConsumerGroup) FetchChunk(max int64) *Chunk {
 	c := g.chunkFree
 	if c != nil {
@@ -394,7 +397,7 @@ func (g *ConsumerGroup) FetchChunk(max int64) *Chunk {
 		c.Records = c.Records[:0]
 		c.Ranges = c.Ranges[:0]
 	} else {
-		c = &Chunk{}
+		c = &Chunk{} //nostop:allow hotalloc -- pool miss: one chunk per concurrent fetch high-water mark
 	}
 	g.fetchInto(max, c)
 	if c.Count == 0 {
@@ -406,6 +409,7 @@ func (g *ConsumerGroup) FetchChunk(max int64) *Chunk {
 
 // Release returns a chunk to the group's pool. The chunk and its slices
 // must not be used after release.
+//nostop:hotpath
 func (g *ConsumerGroup) Release(c *Chunk) {
 	if c == nil {
 		return
@@ -459,9 +463,11 @@ func (g *ConsumerGroup) fetchInto(max int64, c *Chunk) {
 		for j := 0; j < len(p.samples); j++ {
 			rec := &p.samples[(p.sampleHead+j)%len(p.samples)]
 			if rec.Offset >= from && rec.Offset < to {
+				//nostop:allow hotalloc -- appends into the pooled chunk's recycled backing array
 				c.Records = append(c.Records, *rec)
 			}
 		}
+		//nostop:allow hotalloc -- appends into the pooled chunk's recycled backing array
 		c.Ranges = append(c.Ranges, OffsetRange{Partition: i, From: from, To: to})
 		g.position[i] = to
 		consumed += take
@@ -476,6 +482,7 @@ func (g *ConsumerGroup) fetchInto(max int64, c *Chunk) {
 // Commit durably acknowledges processed ranges, advancing committed offsets.
 // Ranges may arrive out of order (a retried batch can finish after a later
 // one); committed only moves forward.
+//nostop:hotpath
 func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
 	var advanced int64
 	for _, r := range ranges {
@@ -497,6 +504,7 @@ func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
 // — the consumer's reaction to a partition outage killing its in-flight
 // fetch session. The span between the two offsets will be fetched again; it
 // is added to the redelivery counter and returned.
+//nostop:hotpath
 func (g *ConsumerGroup) Rewind(partition int) int64 {
 	if partition < 0 || partition >= len(g.position) {
 		return 0

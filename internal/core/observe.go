@@ -117,6 +117,7 @@ func (c *Controller) onMeasureDone(y float64, emergency bool) {
 	}
 	o.objective.Observe(y)
 	now := c.eng.Clock().Now()
+	//nostop:allow obscontract -- phase is a three-valued enum (plus/minus/settle); bounded cardinality
 	o.tr.Span(engine.PidController, TidMeasure, "spsa", fmt.Sprintf("measure %s", c.phase),
 		o.measureFrom, now-o.measureFrom,
 		tracing.Args{"target": c.target.String(), "objective_s": y,
@@ -136,6 +137,7 @@ func (c *Controller) onIteration(it Iteration) {
 	ak, ck := c.opt.Gains()
 	o.gainAk.Set(ak)
 	o.gainCk.Set(ck)
+	//nostop:allow obscontract -- per-iteration span name: bounded by the run horizon, golden-pinned trace output
 	o.tr.Instant(engine.PidController, TidOptimizer, "spsa", fmt.Sprintf("iteration %d", it.K),
 		tracing.Args{"y_plus": it.YPlus, "y_minus": it.YMinus,
 			"estimate": it.Estimate.String(), "rho": it.Rho})

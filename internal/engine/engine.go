@@ -275,6 +275,12 @@ type Engine struct {
 	nextID   int64
 	cutEvent sim.Event
 
+	// tickFn/cutFn are the producer-tick and batch-cut callbacks bound once
+	// at Start: rescheduling with a fresh method value (e.producerTick)
+	// would allocate a closure per tick on the hot path.
+	tickFn func()
+	cutFn  func()
+
 	history    []BatchStats
 	historyCap int
 	listeners  []Listener
@@ -468,8 +474,10 @@ func (e *Engine) Start() error {
 	}
 	e.started = true
 	e.lastTickAt = e.clock.Now()
-	e.clock.After(e.opts.ProducerTick, e.producerTick)
-	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutBatch)
+	e.tickFn = e.producerTick
+	e.cutFn = e.cutBatch
+	e.clock.After(e.opts.ProducerTick, e.tickFn)
+	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutFn)
 	return nil
 }
 
@@ -481,6 +489,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) AddListener(l Listener) { e.listeners = append(e.listeners, l) }
 
 // producerTick pushes trace arrivals since the previous tick into the topic.
+//nostop:hotpath
 func (e *Engine) producerTick() {
 	if e.stopped {
 		return
@@ -517,7 +526,7 @@ func (e *Engine) producerTick() {
 		e.prod.Send("", e.wl.GenValue(e.totalRecords+i, e.payload), now)
 	}
 	e.totalRecords += whole
-	e.clock.After(e.opts.ProducerTick, e.producerTick)
+	e.clock.After(e.opts.ProducerTick, e.tickFn)
 }
 
 // effectiveCap combines the configured/back-pressure ingest cap with any
@@ -536,6 +545,7 @@ func (e *Engine) effectiveCap(now sim.Time) float64 {
 // and schedules the next cut. Offsets are fetched uncommitted: the batch
 // commits its ranges only when it completes successfully, so an outage
 // replays anything in flight (at-least-once).
+//nostop:hotpath
 func (e *Engine) cutBatch() {
 	if e.stopped {
 		return
@@ -545,6 +555,7 @@ func (e *Engine) cutBatch() {
 	if c != nil {
 		n = c.Count
 	}
+	//nostop:allow hotalloc -- one batch header per cut (per-interval, not per-record)
 	b := &batch{
 		id:      e.nextID,
 		records: n,
@@ -566,11 +577,12 @@ func (e *Engine) cutBatch() {
 		e.applyConfig(*e.pending)
 		e.pending = nil
 	}
-	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutBatch)
+	e.cutEvent = e.clock.After(e.cfg.BatchInterval, e.cutFn)
 }
 
 // applyConfig switches the live configuration; executor-count changes
 // reallocate and charge setup to the next scheduled batch.
+//nostop:allow hotalloc -- reconfiguration boundary: runs once per config change, not per record
 func (e *Engine) applyConfig(cfg Config) {
 	changedExecs := cfg.Executors != e.cfg.Executors || len(e.execs) != cfg.Executors
 	e.cfg = cfg
@@ -608,6 +620,7 @@ func (e *Engine) runAttempt(b *batch, start sim.Time) {
 		// The cluster died between scheduling and the retry: requeue and
 		// wait for capacity.
 		e.busy = false
+		//nostop:allow hotalloc -- cold path: head requeue after a total cluster outage
 		e.queue = append([]*batch{b}, e.queue...)
 		return
 	}
@@ -624,6 +637,7 @@ func (e *Engine) runAttempt(b *batch, start sim.Time) {
 		tasks = 1
 	}
 	b.tasks = tasks
+	//nostop:allow hotalloc -- non-escaping closure: called locally, stack-allocated
 	capPar := func(p float64) float64 {
 		if maxPar := float64(e.opts.Partitions); p > maxPar {
 			p = maxPar // task parallelism cannot exceed partition count
@@ -666,6 +680,7 @@ func (e *Engine) runAttempt(b *batch, start sim.Time) {
 		proc += e.opts.ReconfigSetup
 		e.setupOwed = false
 	}
+	//nostop:allow hotalloc -- one completion closure per attempt (per-batch, not per-record)
 	e.clock.After(proc, func() { e.finishAttempt(b, start, proc) })
 }
 
@@ -724,7 +739,9 @@ func (e *Engine) finishAttempt(b *batch, start sim.Time, proc time.Duration) {
 		// requeues at the head so it is retried before younger batches.
 		e.busy = false
 		e.trySchedule()
+		//nostop:allow hotalloc -- one backoff closure per transient-failure retry
 		e.clock.After(backoff, func() {
+			//nostop:allow hotalloc -- head requeue: one small slice per retry
 			e.queue = append([]*batch{b}, e.queue...)
 			e.trySchedule()
 		})
@@ -809,6 +826,8 @@ func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 
 // notify delivers one listener callback, isolating panics: a misbehaving
 // listener cannot kill the simulation run.
+//
+//nostop:allow hotalloc -- panic isolation needs a deferred closure; once per listener per batch
 func (e *Engine) notify(l Listener, bs BatchStats) {
 	defer func() {
 		if r := recover(); r != nil {

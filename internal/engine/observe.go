@@ -130,45 +130,86 @@ func newObsState(reg *metrics.Registry, tr *tracing.Tracer) *obsState {
 }
 
 // OnAppend implements broker.Observer (producer→partition appends).
+//nostop:hotpath
 func (o *obsState) OnAppend(topic string, partition int, n int64) {
+	if o == nil {
+		return
+	}
 	o.recordsProduced.Add(float64(n))
 }
 
 // OnFetch implements broker.Observer (receiver pull). One fetch happens per
 // batch cut, so a trace instant per call stays cheap.
+//nostop:hotpath
 func (o *obsState) OnFetch(topic string, n int64, ranges []broker.OffsetRange) {
+	if o == nil {
+		return
+	}
 	o.recordsFetched.Add(float64(n))
 	if o.traceOn {
-		o.tr.Instant(PidBroker, TidConsumer, "broker", "fetch",
-			tracing.Args{"records": n, "ranges": len(ranges)})
+		o.traceFetch(n, len(ranges))
 	}
 }
 
+// traceFetch emits the fetch instant. Like every trace* helper below it is
+// opt-in (traceOn) and outside the zero-alloc budget that
+// TestAllocsObservation pins on the metrics-only path.
+//
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (o *obsState) traceFetch(n int64, ranges int) {
+	o.tr.Instant(PidBroker, TidConsumer, "broker", "fetch",
+		tracing.Args{"records": n, "ranges": ranges})
+}
+
 // OnCommit implements broker.Observer (offset-range commit).
+//nostop:hotpath
 func (o *obsState) OnCommit(topic string, n int64, ranges []broker.OffsetRange) {
+	if o == nil {
+		return
+	}
 	o.recordsCommitted.Add(float64(n))
 }
 
 // OnRewind implements broker.Observer (outage-triggered replay).
+//nostop:hotpath
 func (o *obsState) OnRewind(topic string, partition int, redelivered int64) {
+	if o == nil {
+		return
+	}
 	o.redeliveries.Add(float64(redelivered))
 	if o.traceOn {
-		o.tr.Instant(PidBroker, TidConsumer, "broker", "rewind",
-			tracing.Args{"partition": partition, "redelivered": redelivered})
+		o.traceRewind(partition, redelivered)
 	}
 }
 
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (o *obsState) traceRewind(partition int, redelivered int64) {
+	o.tr.Instant(PidBroker, TidConsumer, "broker", "rewind",
+		tracing.Args{"partition": partition, "redelivered": redelivered})
+}
+
 // OnOutage implements broker.Observer (partition leader down/up).
+//nostop:hotpath
 func (o *obsState) OnOutage(topic string, partition int, down bool) {
+	if o == nil {
+		return
+	}
 	if down {
 		o.partitionOutages.Inc()
 	}
 	if o.traceOn {
-		name := "partition-restored"
-		if down {
-			name = "partition-outage"
-		}
-		o.tr.Instant(PidBroker, TidConsumer, "broker", name, tracing.Args{"partition": partition})
+		o.traceOutage(partition, down)
+	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (o *obsState) traceOutage(partition int, down bool) {
+	// Two constant-name call sites rather than a computed name: the
+	// obscontract analyzer can then prove the cardinality bound.
+	if down {
+		o.tr.Instant(PidBroker, TidConsumer, "broker", "partition-outage", tracing.Args{"partition": partition})
+	} else {
+		o.tr.Instant(PidBroker, TidConsumer, "broker", "partition-restored", tracing.Args{"partition": partition})
 	}
 }
 
@@ -185,11 +226,18 @@ func (e *Engine) onBatchCut(b *batch) {
 	o.brokerLag.Set(float64(e.group.Lag()))
 	o.committedLag.Set(float64(e.group.CommittedLag()))
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidReceiver, "engine", fmt.Sprintf("cut batch %d", b.id),
-			tracing.Args{"records": b.records, "queue": len(e.queue), "faulty": b.faulty})
-		o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
-		o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
+		e.traceBatchCut(b)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceBatchCut(b *batch) {
+	o := e.obs
+	//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+	o.tr.Instant(PidEngine, TidReceiver, "engine", fmt.Sprintf("cut batch %d", b.id),
+		tracing.Args{"records": b.records, "queue": len(e.queue), "faulty": b.faulty})
+	o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
+	o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
 }
 
 // onAttempt records one resolved execution attempt as a span on the
@@ -201,9 +249,15 @@ func (e *Engine) onAttempt(b *batch, start sim.Time, proc time.Duration, failed 
 	}
 	o.tasksDispatched.Add(float64(b.tasks))
 	if o.traceOn {
-		o.tr.Span(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d", b.id), start, proc,
-			tracing.Args{"attempt": b.attempts, "records": b.records, "tasks": b.tasks, "failed": failed})
+		e.traceAttempt(b, start, proc, failed)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceAttempt(b *batch, start sim.Time, proc time.Duration, failed bool) {
+	//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+	e.obs.tr.Span(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d", b.id), start, proc,
+		tracing.Args{"attempt": b.attempts, "records": b.records, "tasks": b.tasks, "failed": failed})
 }
 
 // onRetry records a transient task-failure retry and its backoff.
@@ -214,9 +268,15 @@ func (e *Engine) onRetry(b *batch, backoff time.Duration) {
 	}
 	o.taskRetries.Inc()
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("retry batch %d", b.id),
-			tracing.Args{"attempt": b.attempts, "backoff_ms": backoff.Milliseconds()})
+		e.traceRetry(b, backoff)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceRetry(b *batch, backoff time.Duration) {
+	//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+	e.obs.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("retry batch %d", b.id),
+		tracing.Args{"attempt": b.attempts, "backoff_ms": backoff.Milliseconds()})
 }
 
 // onSpeculation records a speculative re-execution decision.
@@ -227,8 +287,14 @@ func (e *Engine) onSpeculation(b *batch) {
 	}
 	o.speculations.Inc()
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("speculate batch %d", b.id), nil)
+		e.traceSpeculation(b)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceSpeculation(b *batch) {
+	//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+	e.obs.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("speculate batch %d", b.id), nil)
 }
 
 // onBatchFailed records a batch abandoned after retry-budget exhaustion.
@@ -239,9 +305,15 @@ func (e *Engine) onBatchFailed(b *batch) {
 	}
 	o.batchesFailed.Inc()
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d FAILED", b.id),
-			tracing.Args{"attempts": b.attempts, "records": b.records})
+		e.traceBatchFailed(b)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceBatchFailed(b *batch) {
+	//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+	e.obs.tr.Instant(PidEngine, TidExecutors, "engine", fmt.Sprintf("batch %d FAILED", b.id),
+		tracing.Args{"attempts": b.attempts, "records": b.records})
 }
 
 // onShed records an emergency load-shed episode.
@@ -252,9 +324,14 @@ func (e *Engine) onShed(rate float64, until sim.Time) {
 	}
 	o.shedEvents.Inc()
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidReceiver, "engine", "load-shed",
-			tracing.Args{"cap_rate": rate, "until_s": until.Seconds()})
+		e.traceShed(rate, until)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceShed(rate float64, until sim.Time) {
+	e.obs.tr.Instant(PidEngine, TidReceiver, "engine", "load-shed",
+		tracing.Args{"cap_rate": rate, "until_s": until.Seconds()})
 }
 
 // onBatchComplete records a successful batch: queue-residence span,
@@ -274,13 +351,20 @@ func (e *Engine) onBatchComplete(b *batch, bs BatchStats) {
 	o.brokerLag.Set(float64(e.group.Lag()))
 	o.committedLag.Set(float64(e.group.CommittedLag()))
 	if o.traceOn {
-		if bs.SchedulingDelay > 0 {
-			o.tr.Span(PidEngine, TidReceiver, "engine", fmt.Sprintf("queued batch %d", b.id),
-				b.cutAt, bs.SchedulingDelay, tracing.Args{"records": b.records})
-		}
-		o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
-		o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
+		e.traceBatchComplete(b, bs)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceBatchComplete(b *batch, bs BatchStats) {
+	o := e.obs
+	if bs.SchedulingDelay > 0 {
+		//nostop:allow obscontract -- per-batch span name: bounded by the run horizon, golden-pinned trace output
+		o.tr.Span(PidEngine, TidReceiver, "engine", fmt.Sprintf("queued batch %d", b.id),
+			b.cutAt, bs.SchedulingDelay, tracing.Args{"records": b.records})
+	}
+	o.tr.Counter(PidEngine, "queue", tracing.Args{"batches": len(e.queue)})
+	o.tr.Counter(PidEngine, "lag", tracing.Args{"records": e.group.Lag()})
 }
 
 // onReconfigure records an applied configuration change.
@@ -293,9 +377,14 @@ func (e *Engine) onReconfigure(cfg Config) {
 	o.cfgInterval.Set(cfg.BatchInterval.Seconds())
 	o.cfgExecutors.Set(float64(cfg.Executors))
 	if o.traceOn {
-		o.tr.Instant(PidEngine, TidConfig, "engine", "reconfigure",
-			tracing.Args{"interval_ms": cfg.BatchInterval.Milliseconds(), "executors": cfg.Executors})
+		e.traceReconfigure(cfg)
 	}
+}
+
+//nostop:allow hotalloc -- opt-in trace branch, off the 0-alloc budget path
+func (e *Engine) traceReconfigure(cfg Config) {
+	e.obs.tr.Instant(PidEngine, TidConfig, "engine", "reconfigure",
+		tracing.Args{"interval_ms": cfg.BatchInterval.Milliseconds(), "executors": cfg.Executors})
 }
 
 // onReallocate records an executor-pool rebuild after a capacity change.

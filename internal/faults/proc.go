@@ -331,6 +331,7 @@ func (inj *ProcInjector) end(f ProcFault) {
 	}
 	inj.activeGauge.Set(float64(inj.active))
 	inj.note("recover %v", f)
+	//nostop:allow obscontract -- span name drawn from the closed fault-kind enum; bounded cardinality
 	inj.tr.Span(engine.PidFaults, TidProcChaos, "faults", f.Kind.String(),
 		f.At, f.Duration, tracing.Args{"fault": f.String()})
 }

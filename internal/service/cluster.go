@@ -110,9 +110,9 @@ type proc struct {
 	mu    sync.Mutex // wall mode: guards comp state, clock, timers
 	clock *sim.Clock
 	tb    Timebase
-	comp  component
+	comp  component // guarded by mu
 	epoch int
-	down  bool
+	down  bool // guarded by mu
 
 	srv  *http.Server
 	addr string // concrete listen address, stable across restarts
@@ -181,6 +181,8 @@ func (c *Cluster) Registry() *metrics.Registry { return c.reg }
 func (c *Cluster) WallTracer() *tracing.Tracer { return c.sink.tracer() }
 
 // Proc returns a component's current incarnation (sim-mode assertions).
+//
+//nostop:allow lockguard -- sim-mode assertion helper: the event loop is single-threaded, p.mu is a wall-mode concern
 func (c *Cluster) Component(name string) component { return c.procs[name].comp }
 
 // client builds the resilient client for one directed link, seeding jitter
@@ -285,7 +287,9 @@ func (c *Cluster) startProc(p *proc) error {
 		return err
 	}
 	if c.cfg.Mode == ModeSim {
+		//nostop:allow lockguard -- sim mode: single-threaded event loop; p.mu is a wall-mode concern
 		p.comp = comp
+		//nostop:allow lockguard -- sim mode: single-threaded event loop
 		p.down = false
 		c.simnet.Register(p.name, comp.Handler())
 		return comp.Start()
@@ -358,6 +362,7 @@ func (c *Cluster) KillPeer(name string) error {
 	}
 	c.chaosMu.Lock()
 	defer c.chaosMu.Unlock()
+	//nostop:allow lockguard -- chaos ops serialise on chaosMu; every wall-mode writer of comp/down holds it too
 	if p.down || p.comp == nil {
 		return fmt.Errorf("service: peer %q already down", name)
 	}
@@ -365,7 +370,9 @@ func (c *Cluster) KillPeer(name string) error {
 	c.sink.instant(PidSupervisor, TidChaos, "chaos", "kill-"+name,
 		tracing.Args{"epoch": p.epoch})
 	if c.cfg.Mode == ModeSim {
+		//nostop:allow lockguard -- sim mode: single-threaded event loop; p.mu is a wall-mode concern
 		p.comp.Stop()
+		//nostop:allow lockguard -- sim mode: single-threaded event loop
 		p.down = true
 		c.simnet.SetDown(name, true)
 		return nil
@@ -389,6 +396,7 @@ func (c *Cluster) RestartPeer(name string) error {
 	}
 	c.chaosMu.Lock()
 	defer c.chaosMu.Unlock()
+	//nostop:allow lockguard -- chaos ops serialise on chaosMu; every wall-mode writer of comp/down holds it too
 	if !p.down {
 		return fmt.Errorf("service: peer %q is not down", name)
 	}
@@ -401,7 +409,9 @@ func (c *Cluster) RestartPeer(name string) error {
 		if err != nil {
 			return err
 		}
+		//nostop:allow lockguard -- sim mode: single-threaded event loop; p.mu is a wall-mode concern
 		p.comp = comp
+		//nostop:allow lockguard -- sim mode: single-threaded event loop
 		p.down = false
 		c.simnet.Register(name, comp.Handler())
 		return comp.Start()
@@ -446,10 +456,12 @@ func (c *Cluster) Stop() {
 	defer c.chaosMu.Unlock()
 	for _, name := range c.order {
 		p := c.procs[name]
+		//nostop:allow lockguard -- chaos ops serialise on chaosMu; every wall-mode writer of comp/down holds it too
 		if p.comp == nil || p.down {
 			continue
 		}
 		if c.cfg.Mode == ModeSim {
+			//nostop:allow lockguard -- sim mode: single-threaded event loop
 			p.comp.Stop()
 			continue
 		}
@@ -467,10 +479,12 @@ func (c *Cluster) Snapshots() []InvariantSnapshot {
 	var out []InvariantSnapshot
 	for _, name := range c.order {
 		p := c.procs[name]
+		//nostop:allow lockguard -- shutdown/assertion path: runs after Stop, when pacers and chaos are quiet
 		if p.comp == nil {
 			continue
 		}
 		if c.cfg.Mode == ModeSim {
+			//nostop:allow lockguard -- sim mode: single-threaded event loop
 			out = append(out, p.comp.Snapshot())
 			continue
 		}

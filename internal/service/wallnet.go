@@ -19,8 +19,8 @@ import (
 // from the supervisor goroutine.
 type WallNet struct {
 	mu     sync.Mutex
-	urls   map[string]string
-	gates  map[string]*wallGate
+	urls   map[string]string    // guarded by mu
+	gates  map[string]*wallGate // guarded by mu
 	seed   *rng.Stream
 	client *http.Client
 	// reqTimeout bounds the raw HTTP exchange; it is set above the RPC
@@ -33,7 +33,7 @@ type WallNet struct {
 // stream, guarded for concurrent writer (chaos) vs reader (transport).
 type wallGate struct {
 	mu   sync.Mutex
-	f    LinkFault
+	f    LinkFault // guarded by mu
 	drop *rng.Stream
 }
 

@@ -229,7 +229,7 @@ func (c *Clock) alloc() *node {
 		n.next = nil
 		return n
 	}
-	return &node{index: notQueued}
+	return &node{index: notQueued} //nostop:allow hotalloc -- pool miss: one node per high-water mark, then recycled forever
 }
 
 // recycle ends a node's current incarnation and returns it to the free
@@ -247,11 +247,14 @@ func (c *Clock) recycle(n *node, endedCanceled bool) {
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a modelling bug, and silently reordering events would
 // corrupt causality.
+//
+//nostop:hotpath
 func (c *Clock) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At called with nil handler")
 	}
 	if t < c.now {
+		//nostop:allow hotalloc -- panic path: allocation is irrelevant once causality is broken
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
 	}
 	n := c.alloc()
@@ -270,6 +273,7 @@ func (c *Clock) At(t Time, fn func()) Event {
 
 // After schedules fn to run d after the current virtual time. Negative d
 // panics via At.
+//nostop:hotpath
 func (c *Clock) After(d time.Duration, fn func()) Event {
 	return c.At(c.now+d, fn)
 }
@@ -294,7 +298,7 @@ func (c *Clock) fifoGrow() {
 	if size == 0 {
 		size = 16
 	}
-	next := make([]*node, size)
+	next := make([]*node, size) //nostop:allow hotalloc -- amortized ring doubling: O(log n) growths per run, then steady-state 0-alloc
 	for i := 0; i < c.fifoLen; i++ {
 		next[i] = c.fifo[(c.fifoHead+i)%len(c.fifo)]
 	}
@@ -338,6 +342,7 @@ func (c *Clock) fifoPopFront() *node {
 // Cancel removes a scheduled event. Canceling an already-fired,
 // already-canceled, or zero event is a no-op: the generation stamp in the
 // handle detects a node that has moved on to a later incarnation.
+//nostop:hotpath
 func (c *Clock) Cancel(e Event) {
 	n := e.n
 	if n == nil || n.gen != e.gen {
@@ -399,6 +404,7 @@ func (c *Clock) peek() *node {
 
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
+//nostop:hotpath
 func (c *Clock) Step() bool {
 	n := c.next()
 	if n == nil {
@@ -417,6 +423,7 @@ func (c *Clock) Step() bool {
 // called, or the next event is due strictly after horizon. The clock is left
 // at min(horizon, time of last executed event); if the queue drains early the
 // clock advances to the horizon so periodic models can resume cleanly.
+//nostop:hotpath
 func (c *Clock) RunUntil(horizon Time) {
 	c.stopped = false
 	for !c.stopped {
@@ -432,6 +439,7 @@ func (c *Clock) RunUntil(horizon Time) {
 }
 
 // Run executes events until the queue drains or Stop is called.
+//nostop:hotpath
 func (c *Clock) Run() {
 	c.stopped = false
 	for !c.stopped && c.Step() {

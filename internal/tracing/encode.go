@@ -63,10 +63,11 @@ func appendArgs(buf []byte, args Args) ([]byte, error) {
 	var stack [8]string
 	keys := stack[:0]
 	if len(args) > len(stack) {
-		keys = make([]string, 0, len(args))
+		keys = make([]string, 0, len(args)) //nostop:allow hotalloc -- >8 keys only; the common case stays on the stack array
 	}
+	//nostop:allow hotalloc -- Args maps are tiny; keys are sorted below for determinism
 	for k := range args {
-		keys = append(keys, k)
+		keys = append(keys, k) //nostop:allow hotalloc -- bounded by the stack array in the common case
 	}
 	if len(keys) > 1 {
 		sort.Strings(keys)
