@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke verify
+.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke ask-smoke docs verify
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,18 @@ serve-soak:
 	$(GO) run -race ./cmd/nostop-serve -mode wall -duration 4m -speedup 20 \
 		-metrics /tmp/nostop-soak-wall.prom -trace /tmp/nostop-soak-wall-trace.json
 
+## ask-smoke: run every checked-in scenario spec through nostop-ask with one
+## seed and -selftest: each report's verdict must match the spec's "expect"
+## field, so a behavioural drift that flips a published verdict fails here.
+ask-smoke:
+	$(GO) run ./cmd/nostop-ask -smoke -selftest examples/scenarios/*.json
+
+## docs: the documentation lint — every relative markdown link must resolve
+## (file and #anchor), and every `make <target>` / nostop-<x> command that
+## the docs mention must actually exist (see docs_test.go).
+docs:
+	$(GO) test -run 'TestDocs' -count=1 .
+
 ## trace: short observed run; nostop-sim validates the emitted file against
 ## the Chrome trace_event schema shape and exits non-zero if it is malformed.
 trace:
@@ -85,4 +97,4 @@ escape-smoke:
 		> /tmp/nostop-escapes.txt
 	diff -u internal/sim/escape_allowlist.txt /tmp/nostop-escapes.txt
 
-verify: build vet test race escape-smoke trace
+verify: build vet test race escape-smoke trace ask-smoke

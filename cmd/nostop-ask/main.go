@@ -1,0 +1,149 @@
+// Command nostop-ask answers capacity-planning questions: it runs a
+// declarative scenario spec (workload + deployment + fault plan + SLO
+// predicates + hypothesis) through the simulator, replicated across seeds,
+// and prints a verdict report with per-SLO 95% confidence intervals and a
+// first-violation pointer for every broken predicate. The report is
+// byte-stable: same spec, same bytes, at any -j.
+//
+// Examples:
+//
+//	nostop-ask examples/scenarios/nostop-absorbs-surge.json
+//	nostop-ask -json spec.json > report.json
+//	nostop-ask -out ask-out spec.json        # report + traces + metrics
+//	nostop-ask -smoke -selftest examples/scenarios/*.json   # CI gate
+//
+// Exit status: 0 CONFIRMED, 1 REJECTED, 2 INCONCLUSIVE, 3 error. With
+// several specs, the worst verdict wins. Under -selftest the exit is 0
+// iff every spec's computed verdict matches its "expect" field — which is
+// how CI executes the intentionally-REJECTED example without failing.
+//
+// docs/SCENARIOS.md documents the spec format, the SLO predicate grammar,
+// and the verdict semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nostop/internal/fleet"
+	"nostop/internal/scenario"
+)
+
+func main() {
+	var (
+		j        = flag.Int("j", 0, "worker pool size (0: NumCPU); affects wall time only, never report bytes")
+		smoke    = flag.Bool("smoke", false, "run only the first seed of each spec (quick signal, marked in the report)")
+		jsonOut  = flag.Bool("json", false, "print the machine-readable JSON report instead of the human one")
+		selftest = flag.Bool("selftest", false, "exit 0 iff every spec's verdict matches its \"expect\" field")
+		out      = flag.String("out", "", "artifact directory; writes report.json, report.txt, and per-seed trace/metrics files under <out>/<scenario-name>/")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nostop-ask [flags] <spec.json> [spec.json ...]")
+		flag.PrintDefaults()
+		os.Exit(3)
+	}
+
+	opts := scenario.Options{Parallelism: *j}
+	if *smoke {
+		opts.SeedLimit = 1
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		code, err := ask(path, opts, *jsonOut, *selftest, *out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nostop-ask: %s: %v\n", path, err)
+			os.Exit(3)
+		}
+		if code > exit {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// ask runs one spec file and returns its exit contribution.
+func ask(path string, opts scenario.Options, jsonOut, selftest bool, outDir string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		return 0, err
+	}
+	res, err := scenario.Run(spec, opts)
+	if err != nil {
+		return 0, err
+	}
+	report := res.Report
+
+	if jsonOut {
+		enc, err := report.Encode()
+		if err != nil {
+			return 0, err
+		}
+		os.Stdout.Write(enc)
+	} else {
+		if err := report.Render(os.Stdout); err != nil {
+			return 0, err
+		}
+		fmt.Println()
+	}
+
+	if outDir != "" {
+		if err := writeArtifacts(filepath.Join(outDir, report.Spec.Name), res); err != nil {
+			return 0, err
+		}
+	}
+
+	if selftest {
+		if report.Spec.Expect == "" {
+			return 0, fmt.Errorf("-selftest needs an \"expect\" field in the spec")
+		}
+		if report.ExpectMatch != nil && *report.ExpectMatch {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	switch report.Verdict {
+	case scenario.VerdictConfirmed:
+		return 0, nil
+	case scenario.VerdictRejected:
+		return 1, nil
+	default:
+		return 2, nil
+	}
+}
+
+// writeArtifacts publishes the report pair plus every per-seed artifact
+// atomically under dir.
+func writeArtifacts(dir string, res *scenario.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	enc, err := res.Report.Encode()
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(filepath.Join(dir, "report.json"), enc); err != nil {
+		return err
+	}
+	var human strings.Builder
+	if err := res.Report.Render(&human); err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(filepath.Join(dir, "report.txt"), []byte(human.String())); err != nil {
+		return err
+	}
+	for _, art := range res.Artifacts {
+		if err := fleet.WriteFileAtomic(filepath.Join(dir, art.Name), art.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

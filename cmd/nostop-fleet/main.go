@@ -110,7 +110,7 @@ func buildSpec(path, workloads, controllers, seeds string, horizon time.Duration
 			return spec, fmt.Errorf("parsing %s: %v", path, err)
 		}
 	} else {
-		seedList, err := parseSeeds(seeds)
+		seedList, err := fleet.ParseSeeds(seeds)
 		if err != nil {
 			return spec, err
 		}
@@ -132,33 +132,6 @@ func buildSpec(path, workloads, controllers, seeds string, horizon time.Duration
 		spec.Name = name
 	}
 	return spec, nil
-}
-
-// parseSeeds expands "1,2,5-8" into [1 2 5 6 7 8].
-func parseSeeds(s string) ([]uint64, error) {
-	var out []uint64
-	for _, part := range splitList(s) {
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			a, err1 := strconv.ParseUint(lo, 10, 64)
-			b, err2 := strconv.ParseUint(hi, 10, 64)
-			if err1 != nil || err2 != nil || a > b {
-				return nil, fmt.Errorf("bad seed range %q", part)
-			}
-			if b-a > 1<<20 {
-				return nil, fmt.Errorf("seed range %q is implausibly large", part)
-			}
-			for v := a; v <= b; v++ {
-				out = append(out, v)
-			}
-			continue
-		}
-		v, err := strconv.ParseUint(part, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad seed %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 // splitList splits a comma-separated flag, trimming blanks.

@@ -70,9 +70,9 @@ func runChaos(wl workload.Workload, plan faults.Plan, horizon time.Duration,
 	return &chaosRun{res: &runResult{history: eng.History(), eng: eng}, inj: inj}, nil
 }
 
-// steadyE2E averages clean-batch end-to-end delay over [from, to); NaN when
+// SteadyE2E averages clean-batch end-to-end delay over [from, to); NaN when
 // no clean batch completed in the window.
-func steadyE2E(history []engine.BatchStats, from, to sim.Time) float64 {
+func SteadyE2E(history []engine.BatchStats, from, to sim.Time) float64 {
 	var xs []float64
 	for _, b := range history {
 		if b.DoneAt < from || b.DoneAt >= to || b.FirstAfterReconfig || b.FaultActive {
@@ -94,14 +94,14 @@ func fmtE2E(v float64) string {
 	return fmt.Sprintf("%.2f", v)
 }
 
-// recoveryWindow is how many consecutive clean batches must sit inside the
+// RecoveryWindow is how many consecutive clean batches must sit inside the
 // recovery band before the system counts as recovered.
-const recoveryWindow = 3
+const RecoveryWindow = 3
 
-// recoveryTime returns how long after the last fault lifts the rolling mean
+// RecoveryTime returns how long after the last fault lifts the rolling mean
 // of clean-batch e2e delay re-enters 1.2× the pre-fault steady state
 // (negative if it never does within the run).
-func recoveryTime(history []engine.BatchStats, planEnd sim.Time, preFault float64) time.Duration {
+func RecoveryTime(history []engine.BatchStats, planEnd sim.Time, preFault float64) time.Duration {
 	band := 1.2 * preFault
 	var window []float64
 	for _, b := range history {
@@ -109,10 +109,10 @@ func recoveryTime(history []engine.BatchStats, planEnd sim.Time, preFault float6
 			continue
 		}
 		window = append(window, b.EndToEndDelay.Seconds())
-		if len(window) > recoveryWindow {
+		if len(window) > RecoveryWindow {
 			window = window[1:]
 		}
-		if len(window) == recoveryWindow && stats.Mean(window) <= band {
+		if len(window) == RecoveryWindow && stats.Mean(window) <= band {
 			return time.Duration(b.DoneAt - planEnd)
 		}
 	}
@@ -212,14 +212,14 @@ func ChaosUnderPlan(cfg Config, wlName string, plan faults.Plan) (*Table, string
 			return nil, "", err
 		}
 		eng := run.res.eng
-		pre := steadyE2E(run.res.history, preFrom, preTo)
-		post := steadyE2E(run.res.history, planEnd, sim.Time(cfg.Horizon))
+		pre := SteadyE2E(run.res.history, preFrom, preTo)
+		post := SteadyE2E(run.res.history, planEnd, sim.Time(cfg.Horizon))
 		t.Rows = append(t.Rows, []string{
 			v.name,
 			fmtE2E(pre),
 			fmtE2E(post),
 			faultedDistribution(run.res.history, plan.Start()),
-			fmtRecovery(recoveryTime(run.res.history, planEnd, pre)),
+			fmtRecovery(RecoveryTime(run.res.history, planEnd, pre)),
 			fmt.Sprintf("%d", eng.FailedBatches()),
 			fmt.Sprintf("%d", eng.TaskRetries()),
 			fmt.Sprintf("%d", eng.Redelivered()),

@@ -1,17 +1,10 @@
 package fleet
 
 import (
-	"fmt"
-
-	"nostop/internal/baselines"
 	"nostop/internal/core"
 	"nostop/internal/engine"
 	"nostop/internal/faults"
-	"nostop/internal/ratetrace"
-	"nostop/internal/rng"
-	"nostop/internal/sim"
 	"nostop/internal/stats"
-	"nostop/internal/workload"
 )
 
 // Dist summarizes a sample of per-batch delays.
@@ -57,80 +50,11 @@ type Summary struct {
 // from scratch — own clock, own engine, own controller — so concurrent
 // Execute calls share nothing. The job's random streams all derive from a
 // path that encodes the job axes, so distinct grid points draw independent
-// randomness even under the same seed.
+// randomness even under the same seed. Execution itself lives in
+// ExecuteObserved; Execute is the sink-free fast path the sweep runner uses.
 func Execute(job Job) (Summary, error) {
-	clock := sim.NewClock()
-	wl, err := workload.New(job.Workload)
-	if err != nil {
-		return Summary{}, err
-	}
-	seed := rng.New(job.Seed).Split(fmt.Sprintf("fleet/%s/%s/%s/%s",
-		job.Workload, job.Controller, job.Trace.label(), job.Plan.label()))
-
-	min, max := wl.RateBand()
-	tr := job.Trace.withDefaults()
-	if tr.Min != 0 || tr.Max != 0 {
-		min, max = tr.Min, tr.Max
-	}
-	trace := ratetrace.NewUniformBand(min, max, tr.Period.D(), seed.Split("trace"))
-
-	initial := engine.DefaultConfig()
-	if job.Initial.Interval != 0 {
-		initial.BatchInterval = job.Initial.Interval.D()
-	}
-	if job.Initial.Executors != 0 {
-		initial.Executors = job.Initial.Executors
-	}
-
-	eng, err := engine.New(clock, engine.Options{
-		Workload: wl,
-		Trace:    trace,
-		Seed:     seed.Split("engine"),
-		Initial:  initial,
-	})
-	if err != nil {
-		return Summary{}, err
-	}
-
-	var inj *faults.Injector
-	if len(job.Plan.Faults) > 0 {
-		if inj, err = faults.Attach(eng, job.Plan.Faults); err != nil {
-			return Summary{}, err
-		}
-	}
-	if err := eng.Start(); err != nil {
-		return Summary{}, err
-	}
-
-	var ctl *core.Controller
-	switch job.Controller {
-	case ControllerStatic:
-	case ControllerNoStop:
-		if ctl, err = core.New(eng, core.Options{Seed: seed.Split("controller")}); err != nil {
-			return Summary{}, err
-		}
-		err = ctl.Attach()
-	case ControllerBackPressure:
-		var bp *baselines.BackPressure
-		if bp, err = baselines.NewBackPressure(eng, baselines.BPOptions{}); err != nil {
-			return Summary{}, err
-		}
-		err = bp.Attach()
-	case ControllerBayesOpt:
-		var bo *baselines.BayesOpt
-		if bo, err = baselines.NewBayesOpt(eng, baselines.BOOptions{Seed: seed.Split("bo")}); err != nil {
-			return Summary{}, err
-		}
-		err = bo.Attach()
-	default:
-		return Summary{}, fmt.Errorf("fleet: unknown controller %q", job.Controller)
-	}
-	if err != nil {
-		return Summary{}, err
-	}
-
-	clock.RunUntil(sim.Time(job.Horizon))
-	return summarize(job, eng, ctl, inj), nil
+	sum, _, err := ExecuteObserved(job, Observe{})
+	return sum, err
 }
 
 // summarize reduces a finished run to its Summary.

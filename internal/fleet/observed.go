@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"fmt"
+
+	"nostop/internal/baselines"
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/faults"
+	"nostop/internal/metrics"
+	"nostop/internal/ratetrace"
+	"nostop/internal/rng"
+	"nostop/internal/sim"
+	"nostop/internal/tracing"
+	"nostop/internal/workload"
+)
+
+// Observe configures the optional passive sinks and hooks of an observed
+// execution. The zero value disables everything, making ExecuteObserved
+// behave exactly like Execute: attaching sinks never perturbs a run (the
+// PR-3 zero-perturbation guarantee), so the summary produced for a job is
+// byte-identical with or without them.
+type Observe struct {
+	// Metrics, when non-nil, receives the run's full instrument set
+	// (engine, broker, controller, fault injector).
+	Metrics *metrics.Registry
+	// Trace enables a Chrome trace_event tracer on the run's virtual clock.
+	Trace bool
+	// TraceMaxEvents bounds the tracer (0: tracing.DefaultMaxEvents).
+	TraceMaxEvents int
+	// Attach, when non-nil, runs after the engine has started and the
+	// controller (if any) has attached, before the clock runs. It is the
+	// hook scenario probes use to add batch-completion listeners. It must
+	// be passive: drawing randomness or scheduling events here would break
+	// the job-hash determinism contract.
+	Attach func(*engine.Engine) error
+}
+
+// RunDetail exposes the live objects of a completed observed execution, for
+// callers that need more than the Summary: the scenario harness reads the
+// batch history for SLO percentiles and first-violation instants, the
+// registry for counter-derived SLOs, and the tracer for span references.
+type RunDetail struct {
+	Engine     *engine.Engine
+	Controller *core.Controller // nil unless the nostop controller ran
+	Injector   *faults.Injector // nil for a fault-free job
+	Tracer     *tracing.Tracer  // nil unless Observe.Trace was set
+}
+
+// ExecuteObserved runs one job to completion like Execute, with optional
+// metric/trace sinks and an attach hook, and returns the run's live state
+// alongside the summary. The job's seed path and event timeline are
+// identical to Execute's — observability is passive — so a job's content
+// hash remains a complete key for its results.
+func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
+	clock := sim.NewClock()
+	var tr *tracing.Tracer
+	if obs.Trace {
+		tr = tracing.New(clock, obs.TraceMaxEvents)
+	}
+	wl, err := workload.New(job.Workload)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	seed := rng.New(job.Seed).Split(fmt.Sprintf("fleet/%s/%s/%s/%s",
+		job.Workload, job.Controller, job.Trace.label(), job.Plan.label()))
+
+	min, max := wl.RateBand()
+	trc := job.Trace.withDefaults()
+	if trc.Min != 0 || trc.Max != 0 {
+		min, max = trc.Min, trc.Max
+	}
+	trace := ratetrace.NewUniformBand(min, max, trc.Period.D(), seed.Split("trace"))
+
+	initial := engine.DefaultConfig()
+	if job.Initial.Interval != 0 {
+		initial.BatchInterval = job.Initial.Interval.D()
+	}
+	if job.Initial.Executors != 0 {
+		initial.Executors = job.Initial.Executors
+	}
+
+	eng, err := engine.New(clock, engine.Options{
+		Workload: wl,
+		Trace:    trace,
+		Seed:     seed.Split("engine"),
+		Initial:  initial,
+		Metrics:  obs.Metrics,
+		Tracer:   tr,
+	})
+	if err != nil {
+		return Summary{}, nil, err
+	}
+
+	var inj *faults.Injector
+	if len(job.Plan.Faults) > 0 {
+		if inj, err = faults.Attach(eng, job.Plan.Faults); err != nil {
+			return Summary{}, nil, err
+		}
+		inj.Observe(obs.Metrics, tr)
+	}
+	if err := eng.Start(); err != nil {
+		return Summary{}, nil, err
+	}
+
+	var ctl *core.Controller
+	switch job.Controller {
+	case ControllerStatic:
+	case ControllerNoStop:
+		if ctl, err = core.New(eng, core.Options{
+			Seed:    seed.Split("controller"),
+			Metrics: obs.Metrics,
+			Tracer:  tr,
+		}); err != nil {
+			return Summary{}, nil, err
+		}
+		err = ctl.Attach()
+	case ControllerBackPressure:
+		var bp *baselines.BackPressure
+		if bp, err = baselines.NewBackPressure(eng, baselines.BPOptions{}); err != nil {
+			return Summary{}, nil, err
+		}
+		err = bp.Attach()
+	case ControllerBayesOpt:
+		var bo *baselines.BayesOpt
+		if bo, err = baselines.NewBayesOpt(eng, baselines.BOOptions{Seed: seed.Split("bo")}); err != nil {
+			return Summary{}, nil, err
+		}
+		err = bo.Attach()
+	default:
+		return Summary{}, nil, fmt.Errorf("fleet: unknown controller %q", job.Controller)
+	}
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	if obs.Attach != nil {
+		if err := obs.Attach(eng); err != nil {
+			return Summary{}, nil, err
+		}
+	}
+
+	clock.RunUntil(sim.Time(job.Horizon))
+	return summarize(job, eng, ctl, inj), &RunDetail{Engine: eng, Controller: ctl, Injector: inj, Tracer: tr}, nil
+}

@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nostop/internal/stats"
+)
+
+// reportVersion is bumped whenever the report encoding or the evaluation
+// semantics behind it change incompatibly; byte-stability tests pin it.
+const reportVersion = 1
+
+// Sample is one replication's value for one SLO metric. Note marks
+// degenerate samples ("truncated: never recovered inside the horizon");
+// evaluate treats truncated samples as lower bounds.
+type Sample struct {
+	Seed  uint64  `json:"seed"`
+	Value float64 `json:"value"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// SLOResult is one evaluated predicate: the per-seed samples, the
+// cross-seed interval, the three-valued verdict, and — whenever any
+// replication violated the predicate — a pointer to the first violating
+// observation.
+type SLOResult struct {
+	SLO
+	// Agg names the cross-seed aggregator (mean, p95, or max).
+	Agg string `json:"agg"`
+	// Samples are the per-seed values in seed order.
+	Samples []Sample `json:"samples"`
+	// Point is the aggregated value: the sample mean, or the p95/max of
+	// the samples for the tail-aggregated recovery metrics.
+	Point float64 `json:"point"`
+	// CI95Half is the Student-t 95% half-width around the mean
+	// (stats.MeanCI95); zero for non-mean aggregators and for n < 2.
+	CI95Half float64 `json:"ci95_half"`
+	// Lo and Hi bound the interval the verdict is judged on:
+	// [Point−CI95Half, Point+CI95Half] for means, degenerate [Point,
+	// Point] otherwise.
+	Lo float64 `json:"interval_lo"`
+	Hi float64 `json:"interval_hi"`
+	// Verdict is PASS, FAIL, or INCONCLUSIVE.
+	Verdict string `json:"verdict"`
+	// FirstViolation pins the first observation that broke the predicate;
+	// present whenever at least one replication violated it point-wise.
+	FirstViolation *Violation `json:"first_violation,omitempty"`
+}
+
+// Report is the machine-readable verdict document nostop-ask emits. It is
+// byte-stable: the same spec always encodes to the same bytes, so reports
+// can be diffed and golden-pinned.
+type Report struct {
+	Version int `json:"version"`
+	// Spec is the normalized spec that ran (seed-truncated in smoke mode).
+	Spec Spec `json:"spec"`
+	// Smoke marks a seed-truncated run; its verdict is a quick signal,
+	// not the full-replication answer.
+	Smoke bool `json:"smoke,omitempty"`
+	// Replications is the number of seeds that actually ran.
+	Replications int `json:"replications"`
+	// Verdict is the hypothesis verdict: CONFIRMED, REJECTED, or
+	// INCONCLUSIVE.
+	Verdict string `json:"verdict"`
+	// ExpectMatch is set when the spec declares an expected verdict:
+	// whether the computed verdict matched it (`nostop-ask -selftest`).
+	ExpectMatch *bool `json:"expect_match,omitempty"`
+	// SLOs are the evaluated predicates in spec order.
+	SLOs []SLOResult `json:"slos"`
+}
+
+// evaluate reduces one SLO over all replications to its result: per-seed
+// samples, the cross-seed interval, the three-valued verdict, and the
+// first-violation pointer.
+func evaluate(slo SLO, runs []*runObs) SLOResult {
+	res := SLOResult{SLO: slo, Agg: slo.def.agg}
+	values := make([]float64, len(runs))
+	truncated := false
+	for i, run := range runs {
+		v, note := slo.def.sample(run)
+		values[i] = v
+		if strings.HasPrefix(note, "truncated") {
+			truncated = true
+		}
+		res.Samples = append(res.Samples, Sample{Seed: run.seed, Value: v, Note: note})
+	}
+
+	switch slo.def.agg {
+	case "mean":
+		mean, half := stats.MeanCI95(values)
+		res.Point, res.CI95Half = mean, half
+		res.Lo, res.Hi = mean-half, mean+half
+	case "p95":
+		res.Point = statP(0.95)(values)
+		res.Lo, res.Hi = res.Point, res.Point
+	default: // "max"
+		res.Point = statMax(values)
+		res.Lo, res.Hi = res.Point, res.Point
+	}
+
+	loOK, hiOK := slo.satisfied(res.Lo), slo.satisfied(res.Hi)
+	switch {
+	case loOK && hiOK:
+		res.Verdict = SLOPass
+	case !loOK && !hiOK:
+		res.Verdict = SLOFail
+	default:
+		res.Verdict = SLOInconclusive
+	}
+	// Truncated samples are lower bounds on a value the horizon cut off:
+	// the real value can only be larger. A verdict that relies on the
+	// value being no larger than observed is therefore unsafe.
+	if truncated {
+		if res.Verdict == SLOPass && slo.upperBounded() {
+			res.Verdict = SLOInconclusive
+		}
+		if res.Verdict == SLOFail && !slo.upperBounded() {
+			res.Verdict = SLOInconclusive
+		}
+	}
+
+	// Point the reader at the first violating observation: the first run
+	// (in seed order) whose sample breaks the predicate, drilled down to
+	// the first violating batch / instant inside that run.
+	for i, run := range runs {
+		s := res.Samples[i]
+		if !slo.satisfied(s.Value) || strings.HasPrefix(s.Note, "truncated") {
+			res.FirstViolation = slo.def.violation(run, slo, s.Value)
+			break
+		}
+	}
+	return res
+}
+
+// overallVerdict folds the per-SLO verdicts into the hypothesis verdict:
+// any FAIL rejects it, any INCONCLUSIVE (without a FAIL) leaves it open,
+// all PASS confirms it.
+func overallVerdict(slos []SLOResult) string {
+	verdict := VerdictConfirmed
+	for _, s := range slos {
+		switch s.Verdict {
+		case SLOFail:
+			return VerdictRejected
+		case SLOInconclusive:
+			verdict = VerdictInconclusive
+		}
+	}
+	return verdict
+}
+
+// Encode renders the report as byte-stable indented JSON with a trailing
+// newline. encoding/json emits struct fields in declaration order and the
+// report contains no maps, so equal reports encode to equal bytes.
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding report: %v", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Render writes the human-readable report: the hypothesis, the deployment
+// under test, a verdict table with intervals, and — for every violated
+// SLO — the first-violation pointer with its trace span reference.
+func (r *Report) Render(w io.Writer) error {
+	spec := r.Spec
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario   %s\n", spec.Name)
+	fmt.Fprintf(&b, "hypothesis %q\n", spec.Hypothesis)
+	fmt.Fprintf(&b, "deployment %s/%s, initial %s/%s executors, trace %s, horizon %v, warmup %.2f\n",
+		spec.Workload, spec.Controller,
+		orDefault(spec.Initial.Interval.String(), "0s", "default-interval"),
+		orDefault(fmt.Sprintf("%d", spec.Initial.Executors), "0", "default"),
+		traceLabel(spec), spec.Horizon, spec.Warmup)
+	fmt.Fprintf(&b, "replications %d (seeds %s)%s\n", r.Replications, seedsLabel(spec.Seeds), smokeLabel(r.Smoke))
+	if len(spec.Faults) > 0 {
+		parts := make([]string, len(spec.Faults))
+		for i, f := range spec.Faults {
+			parts[i] = fmt.Sprintf("%s@%v+%v", f.Kind, f.At, f.Duration)
+		}
+		fmt.Fprintf(&b, "faults     %s\n", strings.Join(parts, ", "))
+	}
+	b.WriteString("\n")
+
+	width := 0
+	for _, s := range r.SLOs {
+		if len(s.Text) > width {
+			width = len(s.Text)
+		}
+	}
+	for _, s := range r.SLOs {
+		interval := fmt.Sprintf("[%s, %s]", fmtValue(s.Lo, s.Unit), fmtValue(s.Hi, s.Unit))
+		if s.Agg != "mean" {
+			interval = fmt.Sprintf("(point, agg %s)", s.Agg)
+		}
+		fmt.Fprintf(&b, "  %-*s  %-10s %-22s %s\n", width, s.Text, fmtValue(s.Point, s.Unit), interval, s.Verdict)
+		for _, sm := range s.Samples {
+			if sm.Note != "" {
+				fmt.Fprintf(&b, "  %-*s  note: seed %d: %s\n", width, "", sm.Seed, sm.Note)
+			}
+		}
+		if v := s.FirstViolation; v != nil {
+			loc := fmt.Sprintf("at %v", v.At)
+			if v.Batch != 0 {
+				loc = fmt.Sprintf("batch %d at %v", v.Batch, v.At)
+			}
+			fmt.Fprintf(&b, "  %-*s  first violation: seed %d, %s (%s) — %s\n",
+				width, "", v.Seed, loc, v.Detail, v.Trace)
+			if v.Span != nil {
+				fmt.Fprintf(&b, "  %-*s                   span %q (pid %d, tid %d, ts_us %d)\n",
+					width, "", v.Span.Name, v.Span.Pid, v.Span.Tid, v.Span.TsUs)
+			}
+		}
+	}
+
+	b.WriteString("\nverdict: " + r.Verdict)
+	switch r.Verdict {
+	case VerdictConfirmed:
+		b.WriteString(" — every SLO holds with 95% confidence\n")
+	case VerdictRejected:
+		b.WriteString(" — at least one SLO fails with 95% confidence\n")
+	default:
+		b.WriteString(" — at least one interval straddles its threshold; add seeds or widen the margin\n")
+	}
+	if r.ExpectMatch != nil {
+		fmt.Fprintf(&b, "expected: %s (%s)\n", spec.Expect, matchLabel(*r.ExpectMatch))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func matchLabel(ok bool) string {
+	if ok {
+		return "match"
+	}
+	return "MISMATCH"
+}
+
+func smokeLabel(smoke bool) string {
+	if smoke {
+		return " [smoke: seed list truncated]"
+	}
+	return ""
+}
+
+func orDefault(s, zero, def string) string {
+	if s == zero {
+		return def
+	}
+	return s
+}
+
+func traceLabel(spec Spec) string {
+	if spec.Trace.Min == 0 && spec.Trace.Max == 0 {
+		return "workload band"
+	}
+	return fmt.Sprintf("band[%.0f, %.0f]", spec.Trace.Min, spec.Trace.Max)
+}
+
+// seedsLabel renders a seed list compactly, collapsing ascending runs back
+// to the lo-hi range form ("1-5", "1-3,7").
+func seedsLabel(seeds Seeds) string {
+	if len(seeds) == 0 {
+		return ""
+	}
+	sorted := append([]uint64(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var parts []string
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("%d-%d", sorted[i], sorted[j]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d", sorted[i]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,289 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/fleet"
+	"nostop/internal/sim"
+)
+
+// testSpec is a small scenario that violates its delay SLO: back-pressure
+// on logreg sheds records and sits near 36s mean delay, so both predicates
+// fail decisively. 20m horizon keeps each replication fast.
+func testSpec() Spec {
+	return Spec{
+		Name:       "test-bp",
+		Hypothesis: "back-pressure holds the band without shedding",
+		Workload:   "logreg",
+		Controller: fleet.ControllerBackPressure,
+		Seeds:      Seeds{1, 2, 3},
+		Horizon:    fleet.Duration(20 * time.Minute),
+		SLOs:       []string{"delay_mean < 10s", "shed_fraction < 0.01"},
+	}
+}
+
+// TestReportByteStable is the harness's core determinism claim: the same
+// spec encodes to byte-identical reports at any parallelism.
+func TestReportByteStable(t *testing.T) {
+	var encs [][]byte
+	for _, par := range []int{1, 8} {
+		res, err := Run(testSpec(), Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := res.Report.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Fatalf("report bytes differ between parallelism 1 and 8:\n%s\n---\n%s", encs[0], encs[1])
+	}
+	res, err := Run(testSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Verdict != VerdictRejected {
+		t.Fatalf("verdict = %s, want %s", res.Report.Verdict, VerdictRejected)
+	}
+	for i, art := range res.Artifacts {
+		if len(art.Data) == 0 {
+			t.Fatalf("artifact %d (%s) is empty", i, art.Name)
+		}
+	}
+	if n := len(res.Artifacts); n != 6 { // trace + metrics per seed
+		t.Fatalf("got %d artifacts, want 6", n)
+	}
+}
+
+// TestFirstViolationPinned re-derives the first violating batch from an
+// independent observed execution and checks the report pins exactly that
+// batch: same sim-time instant, same batch id, same trace-span timestamp.
+func TestFirstViolationPinned(t *testing.T) {
+	spec := testSpec()
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delaySLO *SLOResult
+	for i := range res.Report.SLOs {
+		if res.Report.SLOs[i].Metric == "delay_mean" {
+			delaySLO = &res.Report.SLOs[i]
+		}
+	}
+	if delaySLO == nil || delaySLO.Verdict != SLOFail {
+		t.Fatalf("delay_mean SLO missing or not FAIL: %+v", delaySLO)
+	}
+	v := delaySLO.FirstViolation
+	if v == nil {
+		t.Fatal("failing SLO has no first-violation pointer")
+	}
+
+	// Re-run seed 1 independently and find the first steady batch whose
+	// e2e delay breaks the bound.
+	jobs, err := spec.Normalize().fleetSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, detail, err := fleet.ExecuteObserved(jobs[0], fleet.Observe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := detail.Engine.History()
+	var want *engine.BatchStats
+	for i := len(history) / 2; i < len(history); i++ {
+		b := history[i]
+		if b.FirstAfterReconfig {
+			continue
+		}
+		if b.EndToEndDelay.Seconds() >= 10 {
+			want = &history[i]
+			break
+		}
+	}
+	if want == nil {
+		t.Fatal("no violating batch in the independent re-run")
+	}
+	if v.Seed != 1 {
+		t.Fatalf("violation seed = %d, want 1", v.Seed)
+	}
+	if sim.Time(v.At) != want.DoneAt {
+		t.Fatalf("violation instant = %v, want %v (batch %d DoneAt)", v.At, fleet.Duration(want.DoneAt), want.ID)
+	}
+	if v.Batch != want.ID {
+		t.Fatalf("violation batch = %d, want %d", v.Batch, want.ID)
+	}
+	if v.Span == nil {
+		t.Fatal("violation has no span reference")
+	}
+	wantTs := int64(want.StartedAt / sim.Time(time.Microsecond))
+	if v.Span.TsUs != wantTs || v.Span.Pid != engine.PidEngine || v.Span.Tid != engine.TidExecutors {
+		t.Fatalf("span ref = %+v, want pid %d tid %d ts_us %d", v.Span, engine.PidEngine, engine.TidExecutors, wantTs)
+	}
+	if v.Trace != "trace-seed1.json" {
+		t.Fatalf("violation trace artifact = %q", v.Trace)
+	}
+}
+
+// TestMalformedSpecs exercises the decode and validation error paths.
+func TestMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad json", `{`, "decoding spec"},
+		{"unknown field", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","workloads":"logreg","slos":["delay_mean < 1s"]}`, "unknown field"},
+		{"trailing data", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","slos":["delay_mean < 1s"]} {}`, "trailing data"},
+		{"bad seed range", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"5-1","slos":["delay_mean < 1s"]}`, "bad seed range"},
+		{"no hypothesis", `{"name":"x","workload":"logreg","seeds":"1","slos":["delay_mean < 1s"]}`, "no hypothesis"},
+		{"no slos", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1"}`, "no slos"},
+		{"unknown workload", `{"name":"x","hypothesis":"h","workload":"nope","seeds":"1","slos":["delay_mean < 1s"]}`, "nope"},
+		{"unknown metric", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","slos":["delay_p42 < 1s"]}`, "unknown metric"},
+		{"bad op", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","slos":["delay_mean != 1s"]}`, "unknown op"},
+		{"bad threshold", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","slos":["delay_mean < fast"]}`, "bad threshold"},
+		{"recovery without faults", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","slos":["recovery < 1m"]}`, "needs a fault plan"},
+		{"unknown fault kind", `{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1","faults":[{"kind":"meteor","at":"1m","duration":"1m"}],"slos":["delay_mean < 1s"]}`, "meteor"},
+		{"bad expect", `{"name":"x","hypothesis":"h","expect":"maybe","workload":"logreg","seeds":"1","slos":["delay_mean < 1s"]}`, "unknown expect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Decode([]byte(tc.in))
+			if err == nil {
+				err = spec.Validate()
+			}
+			if err == nil {
+				t.Fatalf("no error for %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTruncatedRecoveryIsInconclusive: when the horizon ends before
+// recovery can be observed, the sample is only a lower bound, so an
+// upper-bounded recovery SLO must refuse to PASS.
+func TestTruncatedRecoveryIsInconclusive(t *testing.T) {
+	spec := Spec{
+		Name:       "test-truncated",
+		Hypothesis: "recovery fits in a window the horizon cuts off",
+		Workload:   "logreg",
+		Controller: fleet.ControllerStatic,
+		Seeds:      Seeds{1},
+		Horizon:    fleet.Duration(20 * time.Minute),
+		Faults: []FaultSpec{{
+			Kind: "node-crash", At: fleet.Duration(15 * time.Minute),
+			Duration: fleet.Duration(4*time.Minute + 50*time.Second), Node: 1,
+		}},
+		SLOs: []string{"recovery < 1h"},
+	}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := res.Report.SLOs[0]
+	if slo.Verdict != SLOInconclusive {
+		t.Fatalf("verdict = %s, want %s (truncated sample must not PASS)", slo.Verdict, SLOInconclusive)
+	}
+	if len(slo.Samples) != 1 || !strings.HasPrefix(slo.Samples[0].Note, "truncated") {
+		t.Fatalf("sample not marked truncated: %+v", slo.Samples)
+	}
+	if slo.FirstViolation == nil || slo.FirstViolation.Span == nil {
+		t.Fatal("truncated recovery should point at the fault window span")
+	}
+	if slo.FirstViolation.Span.Name != "node-crash" {
+		t.Fatalf("span name = %q, want node-crash", slo.FirstViolation.Span.Name)
+	}
+}
+
+// TestSmokeTruncation: SeedLimit keeps only the first seed and marks the
+// report, so quick CI verdicts are never mistaken for full replication.
+func TestSmokeTruncation(t *testing.T) {
+	res, err := Run(testSpec(), Options{SeedLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Smoke || res.Report.Replications != 1 {
+		t.Fatalf("smoke=%v replications=%d, want smoke with 1 replication", res.Report.Smoke, res.Report.Replications)
+	}
+	if got := len(res.Report.Spec.Seeds); got != 1 {
+		t.Fatalf("normalized spec kept %d seeds, want 1", got)
+	}
+}
+
+// TestSeedForms: the seeds field accepts both the range-string and the
+// explicit-array form and normalizes to the same list.
+func TestSeedForms(t *testing.T) {
+	a, err := Decode([]byte(`{"name":"x","hypothesis":"h","workload":"logreg","seeds":"1,2,5-7","slos":["delay_mean < 1s"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode([]byte(`{"name":"x","hypothesis":"h","workload":"logreg","seeds":[1,2,5,6,7],"slos":["delay_mean < 1s"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Seeds) != 5 || len(b.Seeds) != 5 {
+		t.Fatalf("seed lists %v / %v, want 5 each", a.Seeds, b.Seeds)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed lists differ: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+}
+
+// TestExampleScenarios executes every checked-in spec in smoke mode and
+// requires its computed verdict to match its declared expectation — the
+// same gate CI runs via `nostop-ask -smoke -selftest`.
+func TestExampleScenarios(t *testing.T) {
+	pattern := filepath.Join("..", "..", "examples", "scenarios", "*.json")
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("found %d example specs at %s, want at least 3", len(paths), pattern)
+	}
+	sawRejected := false
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Expect == "" {
+				t.Fatal("example spec must declare its expected verdict")
+			}
+			res, err := Run(spec, Options{SeedLimit: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.ExpectMatch == nil || !*res.Report.ExpectMatch {
+				t.Fatalf("verdict %s does not match expected %s", res.Report.Verdict, res.Report.Spec.Expect)
+			}
+			if res.Report.Verdict == VerdictRejected {
+				sawRejected = true
+				for _, s := range res.Report.SLOs {
+					if s.Verdict == SLOFail && s.FirstViolation == nil {
+						t.Fatalf("failed SLO %q has no first-violation pointer", s.Text)
+					}
+				}
+			}
+		})
+	}
+	if !sawRejected {
+		t.Error("example set should include a REJECTED scenario with violation pointers")
+	}
+}

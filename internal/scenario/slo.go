@@ -1,0 +1,393 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/experiments"
+	"nostop/internal/faults"
+	"nostop/internal/fleet"
+	"nostop/internal/sim"
+	"nostop/internal/stats"
+)
+
+// SLO is one parsed predicate: `<metric> <op> <threshold>`. Thresholds for
+// duration-valued metrics accept either a duration string ("2s", "1m30s")
+// or a float in seconds; everything else is a plain float. The parsed form
+// keeps the original text so reports echo exactly what the spec said.
+type SLO struct {
+	// Text is the predicate as written in the spec.
+	Text string `json:"predicate"`
+	// Metric is the vocabulary name (see docs/SCENARIOS.md).
+	Metric string `json:"metric"`
+	// Op is the comparison: <, <=, >, or >=.
+	Op string `json:"op"`
+	// Threshold is in base units: seconds, ratio, or count.
+	Threshold float64 `json:"threshold"`
+	// Unit names the base unit so readers can interpret Threshold.
+	Unit string `json:"unit"`
+
+	def metricDef
+}
+
+// metricDef is one row of the metric vocabulary: how to reduce a single
+// run to a scalar sample, how to aggregate samples across seeds, and how
+// to point at the first violating observation inside a run.
+type metricDef struct {
+	unit        string // "seconds", "ratio", or "count"
+	agg         string // cross-seed aggregator: "mean", "p95", or "max"
+	needsFaults bool
+	sample      func(*runObs) (float64, string)
+	violation   func(*runObs, SLO, float64) *Violation
+}
+
+// metricDefs is the SLO vocabulary. Delay metrics reduce the steady-state
+// batch history (post-warmup, reconfiguration batches excluded — the §5.4
+// rule the fleet summary also applies); recovery metrics reuse the chaos
+// harness's definition; the counter metrics read the run's PR-3 metrics
+// registry.
+var metricDefs = map[string]metricDef{
+	"delay_mean": {unit: "seconds", agg: "mean", sample: delaySample(statMean), violation: delayViolation},
+	"delay_p50":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.50)), violation: delayViolation},
+	"delay_p95":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.95)), violation: delayViolation},
+	"delay_p99":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.99)), violation: delayViolation},
+	"delay_max":  {unit: "seconds", agg: "mean", sample: delaySample(statMax), violation: delayViolation},
+	"proc_mean":  {unit: "seconds", agg: "mean", sample: procSample, violation: procViolation},
+	"sched_mean": {unit: "seconds", agg: "mean", sample: schedSample, violation: schedViolation},
+
+	"recovery":     {unit: "seconds", agg: "mean", needsFaults: true, sample: recoverySample, violation: recoveryViolation},
+	"recovery_p95": {unit: "seconds", agg: "p95", needsFaults: true, sample: recoverySample, violation: recoveryViolation},
+	"recovery_max": {unit: "seconds", agg: "max", needsFaults: true, sample: recoverySample, violation: recoveryViolation},
+
+	"shed_fraction":  {unit: "ratio", agg: "mean", sample: shedSample, violation: counterViolation(onsetShed)},
+	"failed_batches": {unit: "count", agg: "mean", sample: counterSample(counterFailed), violation: counterViolation(onsetFailed)},
+	"redelivered":    {unit: "count", agg: "mean", sample: counterSample(counterRedelivered), violation: counterViolation(onsetRedelivered)},
+}
+
+// Registry counter families the counter-derived metrics read. The engine
+// and broker register them (internal/engine/observe.go); looking them up
+// here with an empty help string attaches to the existing family.
+const (
+	counterDropped     = "nostop_records_dropped_total"
+	counterProduced    = "nostop_broker_records_produced_total"
+	counterFailed      = "nostop_batches_failed_total"
+	counterRedelivered = "nostop_broker_redeliveries_total"
+
+	onsetShed        = "shed"
+	onsetFailed      = "failed"
+	onsetRedelivered = "redelivered"
+)
+
+// MetricNames returns the vocabulary sorted, for error messages and docs.
+func MetricNames() []string {
+	names := make([]string, 0, len(metricDefs))
+	for name := range metricDefs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSLO parses one predicate of the grammar `<metric> <op> <threshold>`.
+func ParseSLO(text string) (SLO, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return SLO{}, fmt.Errorf("scenario: slo %q: want `<metric> <op> <threshold>`", text)
+	}
+	def, ok := metricDefs[fields[0]]
+	if !ok {
+		return SLO{}, fmt.Errorf("scenario: slo %q: unknown metric %q (want one of %s)",
+			text, fields[0], strings.Join(MetricNames(), ", "))
+	}
+	switch fields[1] {
+	case "<", "<=", ">", ">=":
+	default:
+		return SLO{}, fmt.Errorf("scenario: slo %q: unknown op %q (want <, <=, >, or >=)", text, fields[1])
+	}
+	threshold, err := parseThreshold(fields[2], def.unit)
+	if err != nil {
+		return SLO{}, fmt.Errorf("scenario: slo %q: %v", text, err)
+	}
+	return SLO{Text: text, Metric: fields[0], Op: fields[1], Threshold: threshold, Unit: def.unit, def: def}, nil
+}
+
+// parseThreshold reads a threshold in the metric's base unit. Duration
+// metrics accept "2s"-style strings; every unit accepts a plain float.
+func parseThreshold(s, unit string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if unit == "seconds" {
+		if d, err := time.ParseDuration(s); err == nil {
+			return d.Seconds(), nil
+		}
+		return 0, fmt.Errorf("bad threshold %q (want a duration like 2s or a float in seconds)", s)
+	}
+	return 0, fmt.Errorf("bad threshold %q (want a float, unit is %s)", s, unit)
+}
+
+// satisfied reports whether x meets the predicate.
+func (s SLO) satisfied(x float64) bool {
+	switch s.Op {
+	case "<":
+		return x < s.Threshold
+	case "<=":
+		return x <= s.Threshold
+	case ">":
+		return x > s.Threshold
+	default: // ">="
+		return x >= s.Threshold
+	}
+}
+
+// upperBounded reports whether the predicate bounds the metric from above
+// (< or <=). Truncated samples — lower bounds on a value the horizon cut
+// off — make a PASS unsafe for upper bounds and a FAIL unsafe for lower
+// bounds; evaluate downgrades those to INCONCLUSIVE.
+func (s SLO) upperBounded() bool { return s.Op == "<" || s.Op == "<=" }
+
+// statistics over a run's steady e2e series ------------------------------
+
+func statMean(xs []float64) float64 { return stats.Mean(xs) }
+
+func statMax(xs []float64) float64 {
+	var max float64
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+func statP(p float64) func([]float64) float64 {
+	return func(xs []float64) float64 {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return stats.Percentile(sorted, p)
+	}
+}
+
+// per-run samples --------------------------------------------------------
+
+func delaySample(stat func([]float64) float64) func(*runObs) (float64, string) {
+	return func(run *runObs) (float64, string) {
+		xs := run.steadySeconds(func(b engine.BatchStats) float64 { return b.EndToEndDelay.Seconds() })
+		if len(xs) == 0 {
+			return 0, "no steady-state batches completed"
+		}
+		return stat(xs), ""
+	}
+}
+
+func procSample(run *runObs) (float64, string) {
+	xs := run.steadySeconds(func(b engine.BatchStats) float64 { return b.ProcessingTime.Seconds() })
+	if len(xs) == 0 {
+		return 0, "no steady-state batches completed"
+	}
+	return stats.Mean(xs), ""
+}
+
+func schedSample(run *runObs) (float64, string) {
+	xs := run.steadySeconds(func(b engine.BatchStats) float64 { return b.SchedulingDelay.Seconds() })
+	if len(xs) == 0 {
+		return 0, "no steady-state batches completed"
+	}
+	return stats.Mean(xs), ""
+}
+
+// recoverySample measures how long after the last fault window lifts the
+// rolling clean-batch delay re-enters 1.2× the pre-fault steady state
+// (experiments.RecoveryTime). A run that never recovers inside the horizon
+// yields the remaining-horizon duration as a *lower bound* plus a note;
+// evaluate treats such truncated samples conservatively.
+func recoverySample(run *runObs) (float64, string) {
+	pre := run.preFaultSteady()
+	if math.IsNaN(pre) {
+		return (run.horizon - run.plan.End()).Seconds(), "truncated: no clean pre-fault batches to define steady state"
+	}
+	rec := experiments.RecoveryTime(run.history, run.plan.End(), pre)
+	if rec < 0 {
+		return (run.horizon - run.plan.End()).Seconds(), "truncated: never recovered inside the horizon"
+	}
+	return rec.Seconds(), ""
+}
+
+func shedSample(run *runObs) (float64, string) {
+	dropped := run.counter(counterDropped)
+	produced := run.counter(counterProduced)
+	if produced == 0 {
+		return 0, "no records produced"
+	}
+	return dropped / produced, ""
+}
+
+func counterSample(name string) func(*runObs) (float64, string) {
+	return func(run *runObs) (float64, string) {
+		return run.counter(name), ""
+	}
+}
+
+// first-violation pointers -----------------------------------------------
+
+// SpanRef addresses one span in the run's Chrome trace file: the (pid,
+// tid) lane, the span name, and its timestamp in trace microseconds —
+// enough to locate it in chrome://tracing / Perfetto or with jq.
+type SpanRef struct {
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Name string `json:"name"`
+	TsUs int64  `json:"ts_us"`
+}
+
+// Violation pins the first observation that broke a predicate: the seed,
+// the sim-time instant, the batch (when one is responsible), the observed
+// value, and a span reference into that seed's trace artifact.
+type Violation struct {
+	Seed   uint64         `json:"seed"`
+	At     fleet.Duration `json:"at"`
+	Batch  int64          `json:"batch,omitempty"`
+	Value  float64        `json:"value"`
+	Detail string         `json:"detail"`
+	Trace  string         `json:"trace"`
+	Span   *SpanRef       `json:"span,omitempty"`
+}
+
+func batchSpan(b engine.BatchStats) *SpanRef {
+	return &SpanRef{
+		Pid:  engine.PidEngine,
+		Tid:  engine.TidExecutors,
+		Name: fmt.Sprintf("batch %d", b.ID),
+		TsUs: int64(b.StartedAt / sim.Time(time.Microsecond)),
+	}
+}
+
+// batchViolation scans the steady history in simulation order for the
+// first batch whose observable breaks the predicate. When no single batch
+// crosses the threshold (a mean can violate without any point doing so),
+// it falls back to the worst batch, first occurrence.
+func batchViolation(run *runObs, slo SLO, field func(engine.BatchStats) float64, what string) *Violation {
+	steady := run.steady()
+	var worst *engine.BatchStats
+	for i := range steady {
+		b := &steady[i]
+		if !slo.satisfied(field(*b)) {
+			return &Violation{
+				Seed:   run.seed,
+				At:     fleet.Duration(b.DoneAt),
+				Batch:  b.ID,
+				Value:  field(*b),
+				Detail: fmt.Sprintf("first steady-state batch with %s %s beyond the bound", what, fmtValue(field(*b), slo.Unit)),
+				Trace:  run.traceFile,
+				Span:   batchSpan(*b),
+			}
+		}
+		if worst == nil || beyond(slo, field(*b), field(*worst)) {
+			worst = b
+		}
+	}
+	if worst == nil {
+		return nil
+	}
+	return &Violation{
+		Seed:   run.seed,
+		At:     fleet.Duration(worst.DoneAt),
+		Batch:  worst.ID,
+		Value:  field(*worst),
+		Detail: fmt.Sprintf("no single batch crosses the bound (the aggregate does); worst batch shown, %s %s", what, fmtValue(field(*worst), slo.Unit)),
+		Trace:  run.traceFile,
+		Span:   batchSpan(*worst),
+	}
+}
+
+// beyond reports whether x is further toward violating the predicate than y.
+func beyond(slo SLO, x, y float64) bool {
+	if slo.upperBounded() {
+		return x > y
+	}
+	return x < y
+}
+
+func delayViolation(run *runObs, slo SLO, _ float64) *Violation {
+	return batchViolation(run, slo, func(b engine.BatchStats) float64 { return b.EndToEndDelay.Seconds() }, "e2e delay")
+}
+
+func procViolation(run *runObs, slo SLO, _ float64) *Violation {
+	return batchViolation(run, slo, func(b engine.BatchStats) float64 { return b.ProcessingTime.Seconds() }, "processing time")
+}
+
+func schedViolation(run *runObs, slo SLO, _ float64) *Violation {
+	return batchViolation(run, slo, func(b engine.BatchStats) float64 { return b.SchedulingDelay.Seconds() }, "scheduling delay")
+}
+
+// recoveryViolation points at the recovery deadline: the instant
+// planEnd + threshold, when the rolling mean was still outside the band,
+// with a span reference to the last-lifting fault window.
+func recoveryViolation(run *runObs, slo SLO, sample float64) *Violation {
+	planEnd := run.plan.End()
+	v := &Violation{
+		Seed:   run.seed,
+		At:     fleet.Duration(planEnd + sim.Time(slo.Threshold*float64(time.Second))),
+		Value:  sample,
+		Detail: fmt.Sprintf("recovery deadline %s after the last fault window lifted at %v", fmtValue(slo.Threshold, "seconds"), time.Duration(planEnd)),
+		Trace:  run.traceFile,
+	}
+	var last *faults.Fault
+	for i := range run.plan {
+		f := &run.plan[i]
+		if last == nil || f.End() > last.End() {
+			last = f
+		}
+	}
+	if last != nil {
+		v.Span = &SpanRef{
+			Pid:  engine.PidFaults,
+			Tid:  faults.TidFaultWindows,
+			Name: last.Kind.String(),
+			TsUs: int64(last.At / sim.Time(time.Microsecond)),
+		}
+	}
+	return v
+}
+
+// counterViolation points at the onset the probe listener recorded: the
+// first batch completion at which the backing counter was already nonzero.
+func counterViolation(key string) func(*runObs, SLO, float64) *Violation {
+	return func(run *runObs, slo SLO, sample float64) *Violation {
+		if b, ok := run.onsets[key]; ok {
+			return &Violation{
+				Seed:   run.seed,
+				At:     fleet.Duration(b.DoneAt),
+				Batch:  b.ID,
+				Value:  sample,
+				Detail: fmt.Sprintf("first batch completion with the %s counter nonzero", key),
+				Trace:  run.traceFile,
+				Span:   batchSpan(b),
+			}
+		}
+		return &Violation{
+			Seed:   run.seed,
+			At:     fleet.Duration(run.horizon),
+			Value:  sample,
+			Detail: fmt.Sprintf("%s counter went nonzero after the last batch completion; end of run shown", key),
+			Trace:  run.traceFile,
+		}
+	}
+}
+
+// fmtValue renders a value with its unit for human-readable detail lines.
+func fmtValue(v float64, unit string) string {
+	switch unit {
+	case "seconds":
+		return time.Duration(v * float64(time.Second)).Round(time.Millisecond).String()
+	case "ratio":
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+}
