@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke ask-smoke docs verify
+.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke ask-smoke tenants-smoke docs verify
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ bench:
 	$(GO) run ./cmd/nostop-bench -quick
 	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json -min-speedup 1.2
 	$(GO) run ./cmd/nostop-bench -experiment kernel -benchout BENCH_kernel.json
+	$(GO) run ./cmd/nostop-bench -experiment tenants -benchout BENCH_tenants.json
 	$(GO) test ./internal/sim/bench -bench . -benchmem
 
 ## golden: regenerate the golden-master artifacts after an INTENDED
@@ -73,6 +74,16 @@ serve-soak:
 ask-smoke:
 	$(GO) run ./cmd/nostop-ask -smoke -selftest examples/scenarios/*.json
 
+## tenants-smoke: the multi-tenant subsystem smoke — a small mix under the
+## race detector, then a plain same-seed rerun whose JSON report must
+## compare byte-identical (the determinism contract at CLI granularity).
+tenants-smoke:
+	$(GO) run -race ./cmd/nostop-tenants -tenants 4 -nodes 16 -cores 2 \
+		-horizon 10m -allocator priority -out /tmp/nostop-tenants-a.json
+	$(GO) run ./cmd/nostop-tenants -tenants 4 -nodes 16 -cores 2 \
+		-horizon 10m -allocator priority -out /tmp/nostop-tenants-b.json
+	cmp /tmp/nostop-tenants-a.json /tmp/nostop-tenants-b.json
+
 ## docs: the documentation lint — every relative markdown link must resolve
 ## (file and #anchor), and every `make <target>` / nostop-<x> command that
 ## the docs mention must actually exist (see docs_test.go).
@@ -97,4 +108,4 @@ escape-smoke:
 		> /tmp/nostop-escapes.txt
 	diff -u internal/sim/escape_allowlist.txt /tmp/nostop-escapes.txt
 
-verify: build vet test race escape-smoke trace ask-smoke
+verify: build vet test race escape-smoke trace ask-smoke tenants-smoke

@@ -22,6 +22,7 @@ import (
 
 	"nostop/internal/experiments"
 	"nostop/internal/fleet"
+	"nostop/internal/tenant"
 )
 
 var registry = map[string]func(experiments.Config) (*experiments.Table, error){
@@ -52,7 +53,7 @@ func names() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(append([]string{"all", "table2", "fleet", "kernel"}, keys...), ", ")
+	return strings.Join(append([]string{"all", "table2", "fleet", "kernel", "tenants"}, keys...), ", ")
 }
 
 func main() {
@@ -104,6 +105,15 @@ func main() {
 			out = "BENCH_kernel.json"
 		}
 		if err := runKernelBench(out, *record, *compare, *cpuprof); err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
+	case "tenants":
+		out := *bench
+		if out == "" {
+			out = "BENCH_tenants.json"
+		}
+		if err := runTenantsBench(out, *record, *compare); err != nil {
 			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
 			os.Exit(1)
 		}
@@ -315,6 +325,137 @@ func runKernelBench(outPath string, recordBaseline bool, comparePath, cpuprofPat
 		}
 	}
 	return nil
+}
+
+// tenantsBenchResult is the BENCH_tenants.json payload: the fixed
+// 32-tenant / 1000-node / 100-partition synthetic mix timed end to end.
+// EventsPerSecond is processed records per wall-clock second (the
+// subsystem's throughput headline); AllocsPerEvent is heap allocations per
+// processed record across the whole run, the coarse-grained companion to
+// the per-package hotalloc budgets. BaselineWallSeconds carries forward
+// unless -record-baseline resets it; ReportsIdentical is the same-seed
+// determinism check riding along for free.
+type tenantsBenchResult struct {
+	Tenants             int     `json:"tenants"`
+	Nodes               int     `json:"nodes"`
+	Partitions          int     `json:"partitions"`
+	NumCPU              int     `json:"numcpu"`
+	Batches             int     `json:"batches"`
+	Records             int64   `json:"records"`
+	EventsPerSecond     float64 `json:"events_per_second"`
+	AllocsPerEvent      float64 `json:"allocs_per_event"`
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	Reduction           float64 `json:"reduction"`
+	ReportSHA256        string  `json:"report_sha256"`
+	ReportsIdentical    bool    `json:"reports_identical"`
+}
+
+// tenantsMix is the fixed deployment behind -experiment tenants: the
+// synthetic 32-tenant mix (mixed trace kinds, including millions-of-users
+// population traces) on 1000 nodes with 100 broker partitions per topic —
+// the ISSUE-9 target scale.
+func tenantsMix() tenant.MixSpec {
+	mix := tenant.Synthetic(32, 1000, 4, tenant.AllocFairShare, tenant.Duration(30*time.Minute))
+	mix.Partitions = 100
+	return mix
+}
+
+// runTenantsBench runs the mix twice under the same seed (warm-up run
+// doubles as the byte-identical determinism check), times and
+// alloc-profiles the second run, carries the recorded baseline forward,
+// and optionally compares against a previous result file, failing on a
+// >10% wall-clock regression.
+func runTenantsBench(outPath string, recordBaseline bool, comparePath string) error {
+	mix := tenantsMix()
+	warm, err := tenant.Run(mix, 1, tenant.Observe{})
+	if err != nil {
+		return err
+	}
+	warmEnc, err := warm.Encode()
+	if err != nil {
+		return err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := tenant.Run(mix, 1, tenant.Observe{})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	enc, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+
+	res := tenantsBenchResult{
+		Tenants:          len(rep.Tenants),
+		Nodes:            rep.Nodes,
+		Partitions:       rep.Partitions,
+		NumCPU:           runtime.NumCPU(),
+		Batches:          rep.Cluster.TotalBatches,
+		Records:          rep.Cluster.TotalRecords,
+		WallSeconds:      wall,
+		ReportSHA256:     fmt.Sprintf("%x", sha256.Sum256(enc)),
+		ReportsIdentical: string(warmEnc) == string(enc),
+	}
+	if rep.Cluster.TotalRecords > 0 {
+		res.EventsPerSecond = float64(rep.Cluster.TotalRecords) / wall
+		res.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(rep.Cluster.TotalRecords)
+	}
+	if prev, err := readTenantsResult(outPath); err == nil && !recordBaseline {
+		res.BaselineWallSeconds = prev.BaselineWallSeconds
+	} else {
+		res.BaselineWallSeconds = wall
+	}
+	if res.BaselineWallSeconds > 0 {
+		res.Reduction = 1 - res.WallSeconds/res.BaselineWallSeconds
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("tenants bench: %d tenants / %d nodes / %d partitions, %d batches, %.2fM events, wall %.1fs, %.2fM events/s, %.3f allocs/event, reports identical: %v -> %s\n",
+		res.Tenants, res.Nodes, res.Partitions, res.Batches,
+		float64(res.Records)/1e6, res.WallSeconds, res.EventsPerSecond/1e6,
+		res.AllocsPerEvent, res.ReportsIdentical, outPath)
+	if !res.ReportsIdentical {
+		return fmt.Errorf("tenants benchmark reports diverged between same-seed runs")
+	}
+	if comparePath != "" {
+		prev, err := readTenantsResult(comparePath)
+		if err != nil {
+			return fmt.Errorf("compare: %v", err)
+		}
+		ratio := res.WallSeconds / prev.WallSeconds
+		fmt.Printf("tenants bench compare: base %.1fs, head %.1fs, ratio %.3f\n",
+			prev.WallSeconds, res.WallSeconds, ratio)
+		if ratio > 1.10 {
+			return fmt.Errorf("tenants benchmark regressed %.1f%% (base %.1fs, head %.1fs)",
+				100*(ratio-1), prev.WallSeconds, res.WallSeconds)
+		}
+	}
+	return nil
+}
+
+// readTenantsResult loads a previous BENCH_tenants.json.
+func readTenantsResult(path string) (tenantsBenchResult, error) {
+	var res tenantsBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %v", path, err)
+	}
+	return res, nil
 }
 
 // readKernelResult loads a previous BENCH_kernel.json.

@@ -16,6 +16,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"nostop/internal/sim"
 )
@@ -94,10 +95,14 @@ func (p *Partition) Begin() int64 { return p.begin }
 func (p *Partition) End() int64 { return p.end }
 
 // appendCount appends n records without payloads.
+//nostop:hotpath
 func (p *Partition) appendCount(n int64) {
 	p.end += n
-	if p.top != nil {
-		p.top.totalEnd += n
+	if t := p.top; t != nil {
+		t.totalEnd += n
+		if t.acct != nil {
+			t.acct.Produced += n
+		}
 	}
 	if p.obs != nil && n > 0 {
 		p.obs.OnAppend(p.Topic, p.ID, n)
@@ -108,8 +113,11 @@ func (p *Partition) appendCount(n int64) {
 func (p *Partition) appendRecord(key, value string, t sim.Time) Record {
 	rec := Record{Partition: p.ID, Offset: p.end, Key: key, Value: value, Time: t}
 	p.end++
-	if p.top != nil {
-		p.top.totalEnd++
+	if top := p.top; top != nil {
+		top.totalEnd++
+		if top.acct != nil {
+			top.acct.Produced++
+		}
 	}
 	if p.obs != nil {
 		p.obs.OnAppend(p.Topic, p.ID, 1)
@@ -154,7 +162,29 @@ func (b *Broker) Partitions() []*Partition { return b.partitions }
 type Bus struct {
 	brokers []*Broker
 	topics  map[string]*Topic
+	tenants map[string]*TenantAccount
 }
+
+// TenantAccount is the bus-level incremental accounting of one tenant's
+// traffic across its topics. Every field is advanced by O(1) increments on
+// the existing produce/fetch/commit/rewind paths — never by scanning
+// partitions — so per-tenant observability at O(100) partitions per topic
+// costs a handful of integer adds per operation and zero allocations
+// (the PR-7 hotalloc contract extends to these paths).
+type TenantAccount struct {
+	Tenant      string
+	Produced    int64 // records appended to the tenant's topics
+	Fetched     int64 // records consumed by the tenant's receiver
+	Committed   int64 // records durably processed
+	Redelivered int64 // records re-fetched after outage rewinds
+}
+
+// Lag returns the tenant's consumer lag: produced but not yet fetched.
+// Rewound (to-be-redelivered) spans count as lag again.
+func (a *TenantAccount) Lag() int64 { return a.Produced + a.Redelivered - a.Fetched }
+
+// CommittedLag returns records produced but not yet durably processed.
+func (a *TenantAccount) CommittedLag() int64 { return a.Produced - a.Committed }
 
 // Topic is a named set of partitions.
 type Topic struct {
@@ -167,6 +197,19 @@ type Topic struct {
 	// partition on every batch cut.
 	totalEnd  int64 // sum of partition end offsets
 	downCount int   // partitions currently in outage
+
+	// acct, when non-nil, is the owning tenant's bus-level account; the
+	// produce/fetch/commit/rewind paths tick it alongside totalEnd.
+	acct *TenantAccount
+}
+
+// Tenant returns the name of the topic's owning tenant ("" when the topic
+// is not tenant-bound).
+func (t *Topic) Tenant() string {
+	if t.acct == nil {
+		return ""
+	}
+	return t.acct.Tenant
 }
 
 // SetObserver installs (or, with nil, removes) the activity observer on the
@@ -206,6 +249,20 @@ func (b *Bus) Brokers() []*Broker { return b.brokers }
 // brokers round-robin. sampleCap bounds the concrete payload tail retained
 // per partition (0 disables payload retention).
 func (b *Bus) CreateTopic(name string, nPartitions, sampleCap int) (*Topic, error) {
+	return b.createTopic(name, "", nPartitions, sampleCap)
+}
+
+// CreateTenantTopic registers a topic owned by a tenant: all traffic through
+// it ticks the tenant's bus-level TenantAccount. Several topics may share a
+// tenant; the account aggregates across them.
+func (b *Bus) CreateTenantTopic(name, tenant string, nPartitions, sampleCap int) (*Topic, error) {
+	if tenant == "" {
+		return nil, errors.New("broker: empty tenant name")
+	}
+	return b.createTopic(name, tenant, nPartitions, sampleCap)
+}
+
+func (b *Bus) createTopic(name, tenant string, nPartitions, sampleCap int) (*Topic, error) {
 	if nPartitions <= 0 {
 		return nil, ErrBadPartitions
 	}
@@ -213,6 +270,17 @@ func (b *Bus) CreateTopic(name string, nPartitions, sampleCap int) (*Topic, erro
 		return nil, ErrTopicExists
 	}
 	t := &Topic{Name: name}
+	if tenant != "" {
+		if b.tenants == nil {
+			b.tenants = make(map[string]*TenantAccount)
+		}
+		acct := b.tenants[tenant]
+		if acct == nil {
+			acct = &TenantAccount{Tenant: tenant}
+			b.tenants[tenant] = acct
+		}
+		t.acct = acct
+	}
 	for i := 0; i < nPartitions; i++ {
 		br := b.brokers[i%len(b.brokers)]
 		p := &Partition{Topic: name, ID: i, Broker: br, top: t}
@@ -224,6 +292,21 @@ func (b *Bus) CreateTopic(name string, nPartitions, sampleCap int) (*Topic, erro
 	}
 	b.topics[name] = t
 	return t, nil
+}
+
+// TenantAccount returns the accounting of one tenant, or nil when the bus
+// holds no tenant-bound topic under that name.
+func (b *Bus) TenantAccount(tenant string) *TenantAccount { return b.tenants[tenant] }
+
+// TenantAccounts returns every tenant account sorted by tenant name —
+// the deterministic iteration order reports and metrics snapshots use.
+func (b *Bus) TenantAccounts() []*TenantAccount {
+	out := make([]*TenantAccount, 0, len(b.tenants))
+	for _, a := range b.tenants {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // Topic looks up a topic by name.
@@ -238,6 +321,10 @@ func (b *Bus) Topic(name string) (*Topic, error) {
 // TotalEnd returns the sum of partition end offsets for a topic — the total
 // number of records ever produced to it.
 func (t *Topic) TotalEnd() int64 { return t.totalEnd }
+
+// DownPartitions returns how many partitions are currently in outage — the
+// O(1) any-partition-down check the engine's per-batch fault probe relies on.
+func (t *Topic) DownPartitions() int { return t.downCount }
 
 // Producer writes to one topic, spreading records uniformly across
 // partitions (round-robin), which is how the paper's generator avoids skew.
@@ -474,6 +561,9 @@ func (g *ConsumerGroup) fetchInto(max int64, c *Chunk) {
 	}
 	g.posTotal += consumed
 	c.Count = consumed
+	if a := g.topic.acct; a != nil {
+		a.Fetched += consumed
+	}
 	if g.topic.obs != nil && consumed > 0 {
 		g.topic.obs.OnFetch(g.topic.Name, consumed, c.Ranges)
 	}
@@ -495,6 +585,9 @@ func (g *ConsumerGroup) Commit(ranges []OffsetRange) {
 		}
 	}
 	g.committedTotal += advanced
+	if a := g.topic.acct; a != nil {
+		a.Committed += advanced
+	}
 	if g.topic.obs != nil && len(ranges) > 0 {
 		g.topic.obs.OnCommit(g.topic.Name, advanced, ranges)
 	}
@@ -516,6 +609,9 @@ func (g *ConsumerGroup) Rewind(partition int) int64 {
 	g.position[partition] = g.committed[partition]
 	g.posTotal -= delta
 	g.redelivered += delta
+	if a := g.topic.acct; a != nil {
+		a.Redelivered += delta
+	}
 	if g.topic.obs != nil {
 		g.topic.obs.OnRewind(g.topic.Name, partition, delta)
 	}

@@ -71,11 +71,23 @@ type Executor struct {
 
 // Cluster is a set of nodes with executor-slot accounting and failure
 // state: a failed node's cores are unavailable until it is restored.
+//
+// The cluster is sized for O(1000) nodes: the capacity queries the engine
+// issues on every batch (FreeCores, FailedCount, TotalWorkerCores) are O(1)
+// incremental counters, and the live-worker list is cached and invalidated
+// only on failure transitions, never rebuilt per call.
 type Cluster struct {
 	nodes  []*NodeSpec
+	sorted []*NodeSpec // nodes in ID order, built once (node set is immutable)
+	byID   map[int]*NodeSpec
 	used   map[int]int  // node ID -> cores in use
 	failed map[int]bool // node ID -> currently failed
 	nextID int
+
+	liveWorkers []*NodeSpec // live (non-failed) workers in ID order; nil when stale
+	freeCores   int         // unallocated cores across live workers
+	liveCores   int         // total cores across live workers
+	failedCount int         // nodes currently marked failed
 }
 
 // ErrInsufficientCapacity is returned when an allocation cannot be placed.
@@ -86,14 +98,16 @@ func New(nodes []NodeSpec) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
-	c := &Cluster{used: make(map[int]int), failed: make(map[int]bool)}
-	seen := make(map[int]bool)
+	c := &Cluster{
+		used:   make(map[int]int),
+		failed: make(map[int]bool),
+		byID:   make(map[int]*NodeSpec, len(nodes)),
+	}
 	for i := range nodes {
 		n := nodes[i]
-		if seen[n.ID] {
+		if c.byID[n.ID] != nil {
 			return nil, fmt.Errorf("cluster: duplicate node ID %d", n.ID)
 		}
-		seen[n.ID] = true
 		if n.SpeedFactor <= 0 {
 			return nil, fmt.Errorf("cluster: node %d has non-positive speed factor", n.ID)
 		}
@@ -104,7 +118,14 @@ func New(nodes []NodeSpec) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: node %d has negative cores", n.ID)
 		}
 		c.nodes = append(c.nodes, &n)
+		c.byID[n.ID] = &n
+		if n.Role == Worker {
+			c.freeCores += n.Cores
+			c.liveCores += n.Cores
+		}
 	}
+	c.sorted = append([]*NodeSpec(nil), c.nodes...)
+	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i].ID < c.sorted[j].ID })
 	return c, nil
 }
 
@@ -144,57 +165,79 @@ func Homogeneous(workers, coresEach int) *Cluster {
 	return c
 }
 
-// Nodes returns the node specs in ID order.
+// Nodes returns the node specs in ID order. The returned slice is a copy;
+// the specs themselves are shared.
 func (c *Cluster) Nodes() []*NodeSpec {
-	out := append([]*NodeSpec(nil), c.nodes...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append([]*NodeSpec(nil), c.sorted...)
 }
 
-// Workers returns only live (non-failed) worker nodes, in ID order.
+// Node returns the spec of one node, or nil for an unknown ID.
+func (c *Cluster) Node(nodeID int) *NodeSpec { return c.byID[nodeID] }
+
+// Workers returns only live (non-failed) worker nodes, in ID order. The
+// returned slice is a copy; hot paths use the internal cache directly.
 func (c *Cluster) Workers() []*NodeSpec {
-	var out []*NodeSpec
-	for _, n := range c.Nodes() {
-		if n.Role == Worker && !c.failed[n.ID] {
-			out = append(out, n)
+	return append([]*NodeSpec(nil), c.live()...)
+}
+
+// live returns the cached live-worker list, rebuilding it only after a
+// failure transition invalidated it.
+//nostop:hotpath
+func (c *Cluster) live() []*NodeSpec {
+	if c.liveWorkers == nil {
+		//nostop:allow hotalloc -- rebuilt once per failure transition, not per call
+		out := make([]*NodeSpec, 0, len(c.sorted))
+		for _, n := range c.sorted {
+			if n.Role == Worker && !c.failed[n.ID] {
+				out = append(out, n) //nostop:allow hotalloc -- capacity preallocated above; rebuilt only per failure transition
+			}
 		}
+		c.liveWorkers = out
 	}
-	return out
+	return c.liveWorkers
 }
 
 // SetFailed marks a node failed or restored. Executors already allocated on
 // a failed node keep their accounting until released; callers (the engine)
 // are expected to release and reallocate. Unknown node IDs are an error.
 func (c *Cluster) SetFailed(nodeID int, failed bool) error {
-	for _, n := range c.nodes {
-		if n.ID == nodeID {
-			c.failed[nodeID] = failed
-			return nil
-		}
+	n := c.byID[nodeID]
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %d", nodeID)
 	}
-	return fmt.Errorf("cluster: unknown node %d", nodeID)
+	if c.failed[nodeID] == failed {
+		return nil // no transition; caches stay valid
+	}
+	c.failed[nodeID] = failed
+	if failed {
+		c.failedCount++
+	} else {
+		c.failedCount--
+	}
+	if n.Role == Worker {
+		delta := 1
+		if failed {
+			delta = -1
+		}
+		c.liveCores += delta * n.Cores
+		c.freeCores += delta * (n.Cores - c.used[nodeID])
+		c.liveWorkers = nil
+	}
+	return nil
 }
 
 // Failed reports whether a node is currently marked failed.
 func (c *Cluster) Failed(nodeID int) bool { return c.failed[nodeID] }
 
-// TotalWorkerCores returns the total executor capacity.
-func (c *Cluster) TotalWorkerCores() int {
-	total := 0
-	for _, n := range c.Workers() {
-		total += n.Cores
-	}
-	return total
-}
+// FailedCount returns how many nodes are currently marked failed — the O(1)
+// any-node-down check the engine's per-batch fault probe relies on.
+func (c *Cluster) FailedCount() int { return c.failedCount }
+
+// TotalWorkerCores returns the total executor capacity on live workers.
+func (c *Cluster) TotalWorkerCores() int { return c.liveCores }
 
 // FreeCores returns unallocated cores on live workers.
-func (c *Cluster) FreeCores() int {
-	free := 0
-	for _, w := range c.Workers() {
-		free += w.Cores - c.used[w.ID]
-	}
-	return free
-}
+func (c *Cluster) FreeCores() int { return c.freeCores }
 
 // UsedCores returns the number of cores currently allocated.
 func (c *Cluster) UsedCores() int {
@@ -213,17 +256,14 @@ func (c *Cluster) Allocate(n int) ([]Executor, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: allocation size %d must be positive", n)
 	}
-	workers := c.Workers()
-	free := 0
-	for _, w := range workers {
-		free += w.Cores - c.used[w.ID]
-	}
-	if free < n {
+	if c.freeCores < n {
 		return nil, ErrInsufficientCapacity
 	}
+	workers := c.live()
 	execs := make([]Executor, 0, n)
 	for len(execs) < n {
-		// Pick worker with most free cores.
+		// Pick worker with most free cores (ties: lowest node ID, since the
+		// cached list is in ID order).
 		var best *NodeSpec
 		bestFree := -1
 		for _, w := range workers {
@@ -237,17 +277,23 @@ func (c *Cluster) Allocate(n int) ([]Executor, error) {
 			return nil, ErrInsufficientCapacity
 		}
 		c.used[best.ID]++
+		c.freeCores--
 		execs = append(execs, Executor{ID: c.nextID, Node: best})
 		c.nextID++
 	}
 	return execs, nil
 }
 
-// Release returns the executors' cores to the pool.
+// Release returns the executors' cores to the pool. Cores on a currently
+// failed node return to its accounting but not to the free pool — they
+// become free only when the node is restored.
 func (c *Cluster) Release(execs []Executor) {
 	for _, e := range execs {
 		if c.used[e.Node.ID] > 0 {
 			c.used[e.Node.ID]--
+			if e.Node.Role == Worker && !c.failed[e.Node.ID] {
+				c.freeCores++
+			}
 		}
 	}
 }

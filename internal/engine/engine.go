@@ -148,6 +148,9 @@ type BatchStats struct {
 	QueueLen int
 	// Semantic is the workload's output when payload records were attached.
 	Semantic workload.Result
+	// Tenant names the owning tenant in multi-tenant runs; empty for the
+	// single-app simulations the paper evaluates.
+	Tenant string
 }
 
 // Listener observes completed batches. The NoStop controller, the metrics
@@ -170,6 +173,17 @@ type Options struct {
 	Seed     *rng.Stream      // nil: rng.New(1)
 	Initial  Config           // zero: Default (interval 30s, 8 executors)
 	Bounds   Bounds           // zero: DefaultBounds
+
+	// Bus, when non-nil, is a shared broker bus: multi-tenant runs give
+	// every engine the same bus so per-tenant topics coexist and cluster
+	// accounting aggregates. Nil creates a private bus (single-app mode).
+	Bus *broker.Bus
+	// TopicName is the engine's input topic; empty means "input". Tenant
+	// mixes must pick distinct names on a shared bus.
+	TopicName string
+	// Tenant tags the engine's topic and batches with a tenant identity,
+	// enabling the broker's per-tenant accounting. Empty disables tagging.
+	Tenant string
 
 	// Partitions is the topic partition count; 0 picks
 	// 2·TotalWorkerCores, honouring §6.1's "more partitions than cores".
@@ -408,23 +422,36 @@ func New(clock *sim.Clock, opts Options) (*Engine, error) {
 			opts.Bounds.MaxExecutors, opts.Cluster.TotalWorkerCores())
 	}
 
-	var nodeIDs []int
-	for _, n := range opts.Cluster.Nodes() {
-		nodeIDs = append(nodeIDs, n.ID)
+	if opts.TopicName == "" {
+		opts.TopicName = "input"
 	}
-	bus, err := broker.NewBus(nodeIDs)
+	bus := opts.Bus
+	if bus == nil {
+		var nodeIDs []int
+		for _, n := range opts.Cluster.Nodes() {
+			nodeIDs = append(nodeIDs, n.ID)
+		}
+		var err error
+		bus, err = broker.NewBus(nodeIDs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var topic *broker.Topic
+	var err error
+	if opts.Tenant != "" {
+		topic, err = bus.CreateTenantTopic(opts.TopicName, opts.Tenant, opts.Partitions, opts.SampleCap)
+	} else {
+		topic, err = bus.CreateTopic(opts.TopicName, opts.Partitions, opts.SampleCap)
+	}
 	if err != nil {
 		return nil, err
 	}
-	topic, err := bus.CreateTopic("input", opts.Partitions, opts.SampleCap)
+	prod, err := bus.NewProducer(opts.TopicName)
 	if err != nil {
 		return nil, err
 	}
-	prod, err := bus.NewProducer("input")
-	if err != nil {
-		return nil, err
-	}
-	group, err := bus.NewConsumerGroup("input")
+	group, err := bus.NewConsumerGroup(opts.TopicName)
 	if err != nil {
 		return nil, err
 	}
@@ -812,6 +839,7 @@ func (e *Engine) completeBatch(b *batch, start sim.Time, proc time.Duration) {
 		Speculated:         b.speculated,
 		QueueLen:           len(e.queue),
 		Semantic:           result,
+		Tenant:             e.opts.Tenant,
 	}
 	e.onAttempt(b, start, proc, false)
 	e.onBatchComplete(b, bs)
@@ -853,6 +881,18 @@ func (e *Engine) Reconfigure(cfg Config) error {
 	}
 	e.pending = &cfg
 	return nil
+}
+
+// EnsureLiveExecutors re-attempts allocation when the live executor set is
+// below the configured count — the retry hook the tenant allocator calls
+// after freeing capacity elsewhere. Reconfigure alone cannot express this:
+// it no-ops when the requested config equals the live one, even though a
+// previous allocation came up short. No-op when already at strength.
+func (e *Engine) EnsureLiveExecutors() {
+	if !e.started || len(e.execs) >= e.cfg.Executors {
+		return
+	}
+	e.reallocate()
 }
 
 // FailNode simulates the loss of a cluster node mid-run: its executors die
@@ -952,20 +992,11 @@ func (e *Engine) SetFaultActive(active bool) { e.faultActive = active }
 // explicit window, a task-failure or straggler injection, an ingest boost, a
 // failed node, or a downed partition.
 func (e *Engine) faultInEffect() bool {
-	if e.faultActive || e.taskFail > 0 || len(e.slowNodes) > 0 || !approx.Eq(e.ingestBoost, 1) {
-		return true
-	}
-	for _, n := range e.cl.Nodes() {
-		if e.cl.Failed(n.ID) {
-			return true
-		}
-	}
-	for _, p := range e.topic.Partitions {
-		if p.Down() {
-			return true
-		}
-	}
-	return false
+	// Both probes are O(1) incremental counters so the per-batch check stays
+	// constant-time on O(1000)-node clusters and O(100)-partition topics.
+	return e.faultActive || e.taskFail > 0 || len(e.slowNodes) > 0 ||
+		!approx.Eq(e.ingestBoost, 1) ||
+		e.cl.FailedCount() > 0 || e.topic.DownPartitions() > 0
 }
 
 // FaultInEffect exposes the live fault check for controllers and reports.

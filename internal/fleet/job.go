@@ -5,6 +5,7 @@ import (
 	"nostop/internal/engine"
 	"nostop/internal/faults"
 	"nostop/internal/stats"
+	"nostop/internal/tenant"
 )
 
 // Dist summarizes a sample of per-batch delays.
@@ -44,6 +45,11 @@ type Summary struct {
 	FailedRecords  int64   `json:"failed_records"`
 	TotalRecords   int64   `json:"total_records"`
 	FaultsInjected int     `json:"faults_injected,omitempty"`
+	// Tenants holds the per-tenant breakdown of a multi-tenant (Mix) job;
+	// the top-level fields then carry the cluster-wide aggregate so cell
+	// aggregation works unchanged. Empty for single-app jobs (omitempty
+	// keeps their artifact bytes identical to pre-tenant releases).
+	Tenants []tenant.TenantReport `json:"tenants,omitempty"`
 }
 
 // Execute runs one job to completion and summarizes it. The run is built

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"nostop/internal/tenant"
+)
+
+// mixSpec is a fast two-mix sweep over two seeds: four multi-tenant jobs.
+func mixSpec() Spec {
+	mk := func(name, allocator string) tenant.MixSpec {
+		return tenant.MixSpec{
+			Name:         name,
+			Nodes:        4,
+			CoresPerNode: 2,
+			Partitions:   8,
+			Allocator:    allocator,
+			Horizon:      tenant.Duration(5 * time.Minute),
+			Tenants: []tenant.TenantSpec{
+				{
+					Name: "a", Workload: "wordcount", Controller: "static",
+					Priority: 1, Trace: tenant.TraceSpec{Kind: "constant", Rate: 2000},
+					InitialExecutors: 4, BatchInterval: tenant.Duration(8 * time.Second),
+				},
+				{
+					Name: "b", Workload: "linreg", Controller: "nostop",
+					Trace:            tenant.TraceSpec{Kind: "uniform", Min: 1000, Max: 3000},
+					InitialExecutors: 4, BatchInterval: tenant.Duration(8 * time.Second),
+				},
+			},
+		}
+	}
+	return Spec{
+		Name:  "mix-test",
+		Seeds: []uint64{1, 2},
+		Mixes: []tenant.MixSpec{mk("prio", tenant.AllocPriority), mk("fair", tenant.AllocFairShare)},
+	}
+}
+
+// A pure mix sweep (no single-app axes at all) must expand to one job per
+// mix × seed, each carrying the mix and hashing uniquely and stably.
+func TestMixExpandAndHash(t *testing.T) {
+	spec := mixSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4 (2 mixes × 2 seeds)", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j.Mix == nil {
+			t.Fatalf("mix job %v lost its mix", j)
+		}
+		if j.Workload != "tenants" {
+			t.Errorf("mix job workload = %q, want tenants", j.Workload)
+		}
+		if cell := j.Cell(); cell.Mix != j.Mix.Name {
+			t.Errorf("cell mix = %q, want %q", cell.Mix, j.Mix.Name)
+		}
+		h := j.Hash()
+		if h != j.Hash() {
+			t.Fatal("mix job hash unstable across calls")
+		}
+		if seen[h] {
+			t.Fatalf("duplicate hash for distinct mix job %v", j)
+		}
+		seen[h] = true
+	}
+	// The mix content is part of the hash: changing a tenant changes the key.
+	a := jobs[0]
+	mut := *a.Mix
+	mut.Tenants = append([]tenant.TenantSpec(nil), mut.Tenants...)
+	mut.Tenants[0].InitialExecutors++
+	b := a
+	b.Mix = &mut
+	if a.Hash() == b.Hash() {
+		t.Fatal("tenant change did not change the mix job hash")
+	}
+}
+
+// Single-app jobs must hash exactly as they did before the mix axis existed:
+// the omitempty mix field may not leak into their hash input.
+func TestMixFieldAbsentFromSingleAppHash(t *testing.T) {
+	jobs, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("mix")) {
+		t.Fatalf("single-app job hash input mentions mix: %s", data)
+	}
+}
+
+// The determinism headline for the tenant-mix axis: -j 1 and -j 8 sweeps
+// must produce byte-identical manifests and aggregates.
+func TestMixParallelismInvariance(t *testing.T) {
+	spec := mixSpec()
+	r1, err := Run(spec, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(spec, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, a1 := encode(t, r1)
+	m8, a8 := encode(t, r8)
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("mix manifests differ between -j 1 and -j 8")
+	}
+	if !bytes.Equal(a1, a8) {
+		t.Errorf("mix aggregates differ between -j 1 and -j 8:\n%s\nvs\n%s", a1, a8)
+	}
+	// Per-tenant breakdowns must have survived into the summaries.
+	for _, j := range r1.Manifest.Jobs {
+		if len(j.Summary.Tenants) != 2 {
+			t.Fatalf("mix job summary has %d tenant reports, want 2", len(j.Summary.Tenants))
+		}
+	}
+}
+
+// Mixes and single-app axes are mutually composable: a spec with both
+// expands to the union, and validation still rejects broken mixes.
+func TestMixSpecValidation(t *testing.T) {
+	spec := mixSpec()
+	spec.Mixes[0].Allocator = "lottery"
+	if err := spec.Validate(); err == nil {
+		t.Fatal("unknown allocator in a mix passed Validate")
+	}
+	empty := Spec{Name: "none", Seeds: []uint64{1}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("spec with no workloads and no mixes passed Validate")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"nostop/internal/ratetrace"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
+	"nostop/internal/tenant"
 	"nostop/internal/tracing"
 	"nostop/internal/workload"
 )
@@ -53,6 +54,9 @@ type RunDetail struct {
 // identical to Execute's — observability is passive — so a job's content
 // hash remains a complete key for its results.
 func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
+	if job.Mix != nil {
+		return executeMix(job, obs)
+	}
 	clock := sim.NewClock()
 	var tr *tracing.Tracer
 	if obs.Trace {
@@ -141,4 +145,49 @@ func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
 
 	clock.RunUntil(sim.Time(job.Horizon))
 	return summarize(job, eng, ctl, inj), &RunDetail{Engine: eng, Controller: ctl, Injector: inj, Tracer: tr}, nil
+}
+
+// executeMix runs a multi-tenant job through tenant.Run and folds the
+// report into a Summary: cluster-wide aggregates in the top-level fields
+// (so cell aggregation and manifest rendering work unchanged) and the
+// per-tenant breakdown in Summary.Tenants. The seed path and report are a
+// pure function of the Job, exactly like the single-app path, so job
+// hashes remain complete artifact-cache keys.
+func executeMix(job Job, obs Observe) (Summary, *RunDetail, error) {
+	rep, det, err := tenant.RunDetailed(*job.Mix, job.Seed, tenant.Observe{
+		Metrics:        obs.Metrics,
+		Trace:          obs.Trace,
+		TraceMaxEvents: obs.TraceMaxEvents,
+	})
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	s := Summary{
+		Batches:      rep.Cluster.TotalBatches,
+		TotalRecords: rep.Cluster.TotalRecords,
+		Tenants:      rep.Tenants,
+	}
+	var e2e []float64
+	for _, t := range rep.Tenants {
+		s.SteadyBatches += t.SteadyBatches
+		s.Reconfigs += t.Reconfigs
+		s.FailedBatches += t.FailedBatches
+		s.Redelivered += t.Redelivered
+		if t.SteadyBatches > 0 {
+			// Weight each tenant's mean by its steady batch count so the
+			// cluster-wide mean matches a flat per-batch average; the dist
+			// percentiles come from the per-tenant means (N = tenant count),
+			// a coarse but deterministic cross-tenant spread measure.
+			e2e = append(e2e, t.DelayMeanSec)
+			s.ProcMean += t.ProcMeanSec * float64(t.SteadyBatches)
+			s.SchedMean += t.SchedMeanSec * float64(t.SteadyBatches)
+		}
+	}
+	if s.SteadyBatches > 0 {
+		s.ProcMean /= float64(s.SteadyBatches)
+		s.SchedMean /= float64(s.SteadyBatches)
+	}
+	s.E2E = distOf(e2e)
+	s.E2E.Mean = rep.Cluster.MeanDelaySec // batch-weighted, not tenant-weighted
+	return s, &RunDetail{Tracer: det.Tracer}, nil
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nostop/internal/faults"
+	"nostop/internal/tenant"
 	"nostop/internal/workload"
 )
 
@@ -183,6 +184,11 @@ type Spec struct {
 	// Initials optionally sweeps initial configurations; empty means the
 	// engine default.
 	Initials []Static `json:"initials,omitempty"`
+	// Mixes optionally sweeps multi-tenant mixes (tenant.MixSpec): each
+	// mix × seed is one job running the full tenant subsystem instead of a
+	// single workload/controller pair. A spec may combine Mixes with the
+	// single-app axes; the two expand independently.
+	Mixes []tenant.MixSpec `json:"mixes,omitempty"`
 }
 
 // normalized returns the spec with every default resolved, so the manifest
@@ -214,6 +220,14 @@ func (s Spec) Validate() error {
 	s = s.normalized()
 	if len(s.Seeds) == 0 {
 		return fmt.Errorf("fleet: spec has no seeds")
+	}
+	for i, m := range s.Mixes {
+		if _, err := m.Validate(); err != nil {
+			return fmt.Errorf("fleet: mix %d: %v", i, err)
+		}
+	}
+	if len(s.Workloads) == 0 && len(s.Controllers) == 0 && len(s.Mixes) > 0 {
+		return nil // pure tenant-mix sweep: the single-app axes stay empty
 	}
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("fleet: spec has no workloads")
@@ -263,6 +277,24 @@ func (s Spec) Expand() ([]Job, error) {
 	}
 	s = s.normalized()
 	var jobs []Job
+	for i := range s.Mixes {
+		// Normalize through Validate so the hashed mix is fully explicit
+		// (Validate passed above, so the error is unreachable).
+		m, _ := s.Mixes[i].Validate()
+		for _, seed := range s.Seeds {
+			mix := m
+			jobs = append(jobs, Job{
+				Workload:   "tenants",
+				Controller: m.Allocator,
+				Seed:       seed,
+				// The mix carries its own horizon/warmup; the job copies
+				// them so manifest rows stay self-describing.
+				Horizon: Duration(m.Horizon),
+				Warmup:  s.Warmup,
+				Mix:     &mix,
+			})
+		}
+	}
 	for _, wl := range s.Workloads {
 		for _, ctl := range s.Controllers {
 			for _, tr := range s.Traces {
@@ -299,6 +331,11 @@ type Job struct {
 	Trace      TraceSpec `json:"trace"`
 	Plan       NamedPlan `json:"plan"`
 	Initial    Static    `json:"initial"`
+	// Mix, when non-nil, makes this a multi-tenant job: the run executes
+	// tenant.Run over the mix instead of a single engine. omitempty keeps
+	// single-app job hashes identical to pre-tenant releases, so cached
+	// artifacts stay valid.
+	Mix *tenant.MixSpec `json:"mix,omitempty"`
 }
 
 // hashVersion is bumped whenever the job encoding or the simulation
@@ -323,6 +360,9 @@ func (j Job) Hash() string {
 
 // String renders a compact human-readable job label for progress lines.
 func (j Job) String() string {
+	if j.Mix != nil {
+		return fmt.Sprintf("mix=%s/%s/seed=%d", j.Mix.Name, j.Mix.Allocator, j.Seed)
+	}
 	return fmt.Sprintf("%s/%s/%s/%s/%s/seed=%d",
 		j.Workload, j.Controller, j.Trace.label(), j.Plan.label(), j.Initial.label(), j.Seed)
 }
@@ -337,11 +377,14 @@ type Cell struct {
 	Initial    Static    `json:"initial"`
 	Horizon    Duration  `json:"horizon"`
 	Warmup     float64   `json:"warmup"`
+	// Mix names the tenant mix for multi-tenant cells; empty otherwise
+	// (omitempty keeps pre-tenant cell keys stable).
+	Mix string `json:"mix,omitempty"`
 }
 
 // Cell returns the job's aggregation cell.
 func (j Job) Cell() Cell {
-	return Cell{
+	c := Cell{
 		Workload:   j.Workload,
 		Controller: j.Controller,
 		Trace:      j.Trace,
@@ -350,6 +393,10 @@ func (j Job) Cell() Cell {
 		Horizon:    j.Horizon,
 		Warmup:     j.Warmup,
 	}
+	if j.Mix != nil {
+		c.Mix = j.Mix.Name
+	}
+	return c
 }
 
 // key is a canonical string form of the cell, used for grouping.

@@ -172,6 +172,79 @@ func (s Steps) RateAt(t sim.Time) float64 {
 // Describe implements Trace.
 func (s Steps) Describe() string { return fmt.Sprintf("piecewise-constant, %d segments", len(s)) }
 
+// UserStep is one segment of a user-population trace: the number of active
+// users from a given instant.
+type UserStep struct {
+	From  sim.Time
+	Users float64
+}
+
+// Users models a tenant's load as an evolving user population times a
+// per-user event rate — the unit the ROADMAP's millions-of-users north star
+// is denominated in. A tenant serving 2M users each emitting 0.005 events/s
+// drives 10k rec/s; population changes (diurnal ramps, promotion spikes)
+// move the aggregate rate piecewise. Deterministic and random-access like
+// every other trace.
+type Users struct {
+	PerUserRate float64 // events per second per active user
+	Population  []UserStep
+}
+
+// NewUsers validates and returns a user-population trace. Population
+// segments must be ascending in time; rates and populations non-negative.
+func NewUsers(perUserRate float64, population []UserStep) (*Users, error) {
+	if perUserRate < 0 {
+		return nil, fmt.Errorf("ratetrace: negative per-user rate %v", perUserRate)
+	}
+	if len(population) == 0 {
+		return nil, fmt.Errorf("ratetrace: empty user population")
+	}
+	for i, p := range population {
+		if p.Users < 0 {
+			return nil, fmt.Errorf("ratetrace: negative population at segment %d", i)
+		}
+		if i > 0 && p.From <= population[i-1].From {
+			return nil, fmt.Errorf("ratetrace: population segment %d at %v not after %v",
+				i, p.From, population[i-1].From)
+		}
+	}
+	return &Users{PerUserRate: perUserRate, Population: population}, nil
+}
+
+// UsersAt returns the active user population at time t.
+func (u *Users) UsersAt(t sim.Time) float64 {
+	i := sort.Search(len(u.Population), func(i int) bool { return u.Population[i].From > t })
+	if i == 0 {
+		return u.Population[0].Users
+	}
+	return u.Population[i-1].Users
+}
+
+// RateAt implements Trace.
+func (u *Users) RateAt(t sim.Time) float64 { return u.UsersAt(t) * u.PerUserRate }
+
+// Describe implements Trace.
+func (u *Users) Describe() string {
+	peak := 0.0
+	for _, p := range u.Population {
+		if p.Users > peak {
+			peak = p.Users
+		}
+	}
+	return fmt.Sprintf("users ≤%.2gM × %.3g ev/s/user, %d segments",
+		peak/1e6, u.PerUserRate, len(u.Population))
+}
+
+// NextChange implements Stepper: the next population segment boundary, so
+// RecordsIn integrates the piecewise-constant aggregate rate exactly.
+func (u *Users) NextChange(t sim.Time) sim.Time {
+	i := sort.Search(len(u.Population), func(i int) bool { return u.Population[i].From > t })
+	if i == len(u.Population) {
+		return sim.Infinity
+	}
+	return u.Population[i].From
+}
+
 // Scaled multiplies an inner trace by Factor — handy for replaying a shape
 // at a workload-appropriate magnitude.
 type Scaled struct {

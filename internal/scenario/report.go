@@ -69,8 +69,43 @@ type Report struct {
 	// ExpectMatch is set when the spec declares an expected verdict:
 	// whether the computed verdict matched it (`nostop-ask -selftest`).
 	ExpectMatch *bool `json:"expect_match,omitempty"`
-	// SLOs are the evaluated predicates in spec order.
+	// SLOs are the evaluated predicates in spec order (under the primary
+	// allocator, for tenancy specs with a contrast).
 	SLOs []SLOResult `json:"slos"`
+	// Contrast holds the same predicates evaluated under the contrast
+	// allocator of a tenancy spec; nil otherwise.
+	Contrast *ContrastReport `json:"contrast,omitempty"`
+}
+
+// ContrastReport is the contrast-allocator half of a differential tenancy
+// verdict: the same SLOs, same seeds, same randomness — only the allocator
+// differs. The report's top-level Verdict is the combination (see
+// combineContrast); the contrast's own fold is recorded here.
+type ContrastReport struct {
+	Allocator string `json:"allocator"`
+	Verdict   string `json:"verdict"`
+	// SLOs are the evaluated predicates in spec order, under the contrast.
+	SLOs []SLOResult `json:"slos"`
+}
+
+// combineContrast folds the primary and contrast verdicts into the
+// differential hypothesis verdict. The hypothesis of a contrasted tenancy
+// spec is "the allocator makes these SLOs hold": it is confirmed only when
+// the SLOs hold under the primary AND break under the contrast. SLOs that
+// also hold under the contrast mean the allocator was irrelevant — spare
+// capacity did the work — so the hypothesis is rejected.
+func combineContrast(primary, contrast string) string {
+	if primary != VerdictConfirmed {
+		return primary
+	}
+	switch contrast {
+	case VerdictRejected:
+		return VerdictConfirmed
+	case VerdictConfirmed:
+		return VerdictRejected
+	default:
+		return VerdictInconclusive
+	}
 }
 
 // evaluate reduces one SLO over all replications to its result: per-seed
@@ -81,7 +116,7 @@ func evaluate(slo SLO, runs []*runObs) SLOResult {
 	values := make([]float64, len(runs))
 	truncated := false
 	for i, run := range runs {
-		v, note := slo.def.sample(run)
+		v, note := slo.def.sample(run.view(slo.Tenant))
 		values[i] = v
 		if strings.HasPrefix(note, "truncated") {
 			truncated = true
@@ -129,7 +164,7 @@ func evaluate(slo SLO, runs []*runObs) SLOResult {
 	for i, run := range runs {
 		s := res.Samples[i]
 		if !slo.satisfied(s.Value) || strings.HasPrefix(s.Note, "truncated") {
-			res.FirstViolation = slo.def.violation(run, slo, s.Value)
+			res.FirstViolation = slo.def.violation(run.view(slo.Tenant), slo, s.Value)
 			break
 		}
 	}
@@ -171,11 +206,18 @@ func (r *Report) Render(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario   %s\n", spec.Name)
 	fmt.Fprintf(&b, "hypothesis %q\n", spec.Hypothesis)
-	fmt.Fprintf(&b, "deployment %s/%s, initial %s/%s executors, trace %s, horizon %v, warmup %.2f\n",
-		spec.Workload, spec.Controller,
-		orDefault(spec.Initial.Interval.String(), "0s", "default-interval"),
-		orDefault(fmt.Sprintf("%d", spec.Initial.Executors), "0", "default"),
-		traceLabel(spec), spec.Horizon, spec.Warmup)
+	if t := spec.Tenancy; t != nil {
+		mix := t.Mix
+		fmt.Fprintf(&b, "deployment mix %s: %d tenants on %d nodes × %d cores, %d partitions/topic, allocator %s, horizon %v, warmup %.2f\n",
+			mix.Name, len(mix.Tenants), mix.Nodes, mix.CoresPerNode,
+			mix.Partitions, mix.Allocator, spec.Horizon, spec.Warmup)
+	} else {
+		fmt.Fprintf(&b, "deployment %s/%s, initial %s/%s executors, trace %s, horizon %v, warmup %.2f\n",
+			spec.Workload, spec.Controller,
+			orDefault(spec.Initial.Interval.String(), "0s", "default-interval"),
+			orDefault(fmt.Sprintf("%d", spec.Initial.Executors), "0", "default"),
+			traceLabel(spec), spec.Horizon, spec.Warmup)
+	}
 	fmt.Fprintf(&b, "replications %d (seeds %s)%s\n", r.Replications, seedsLabel(spec.Seeds), smokeLabel(r.Smoke))
 	if len(spec.Faults) > 0 {
 		parts := make([]string, len(spec.Faults))
@@ -185,43 +227,23 @@ func (r *Report) Render(w io.Writer) error {
 		fmt.Fprintf(&b, "faults     %s\n", strings.Join(parts, ", "))
 	}
 	b.WriteString("\n")
+	renderSLOs(&b, r.SLOs)
 
-	width := 0
-	for _, s := range r.SLOs {
-		if len(s.Text) > width {
-			width = len(s.Text)
-		}
-	}
-	for _, s := range r.SLOs {
-		interval := fmt.Sprintf("[%s, %s]", fmtValue(s.Lo, s.Unit), fmtValue(s.Hi, s.Unit))
-		if s.Agg != "mean" {
-			interval = fmt.Sprintf("(point, agg %s)", s.Agg)
-		}
-		fmt.Fprintf(&b, "  %-*s  %-10s %-22s %s\n", width, s.Text, fmtValue(s.Point, s.Unit), interval, s.Verdict)
-		for _, sm := range s.Samples {
-			if sm.Note != "" {
-				fmt.Fprintf(&b, "  %-*s  note: seed %d: %s\n", width, "", sm.Seed, sm.Note)
-			}
-		}
-		if v := s.FirstViolation; v != nil {
-			loc := fmt.Sprintf("at %v", v.At)
-			if v.Batch != 0 {
-				loc = fmt.Sprintf("batch %d at %v", v.Batch, v.At)
-			}
-			fmt.Fprintf(&b, "  %-*s  first violation: seed %d, %s (%s) — %s\n",
-				width, "", v.Seed, loc, v.Detail, v.Trace)
-			if v.Span != nil {
-				fmt.Fprintf(&b, "  %-*s                   span %q (pid %d, tid %d, ts_us %d)\n",
-					width, "", v.Span.Name, v.Span.Pid, v.Span.Tid, v.Span.TsUs)
-			}
-		}
+	if c := r.Contrast; c != nil {
+		fmt.Fprintf(&b, "\ncontrast (allocator %s — same seeds, same randomness):\n", c.Allocator)
+		renderSLOs(&b, c.SLOs)
+		fmt.Fprintf(&b, "  contrast verdict: %s (confirmation requires the SLOs to break here)\n", c.Verdict)
 	}
 
 	b.WriteString("\nverdict: " + r.Verdict)
-	switch r.Verdict {
-	case VerdictConfirmed:
+	switch {
+	case r.Contrast != nil && r.Verdict == VerdictConfirmed:
+		b.WriteString(" — the SLOs hold under the primary allocator and break under the contrast\n")
+	case r.Contrast != nil && r.Verdict == VerdictRejected:
+		b.WriteString(" — the differential does not hold: the SLOs fail under the primary, or hold under the contrast too\n")
+	case r.Verdict == VerdictConfirmed:
 		b.WriteString(" — every SLO holds with 95% confidence\n")
-	case VerdictRejected:
+	case r.Verdict == VerdictRejected:
 		b.WriteString(" — at least one SLO fails with 95% confidence\n")
 	default:
 		b.WriteString(" — at least one interval straddles its threshold; add seeds or widen the margin\n")
@@ -231,6 +253,41 @@ func (r *Report) Render(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// renderSLOs writes one verdict table: predicate, point, interval, verdict,
+// plus sample notes and first-violation pointers.
+func renderSLOs(b *strings.Builder, slos []SLOResult) {
+	width := 0
+	for _, s := range slos {
+		if len(s.Text) > width {
+			width = len(s.Text)
+		}
+	}
+	for _, s := range slos {
+		interval := fmt.Sprintf("[%s, %s]", fmtValue(s.Lo, s.Unit), fmtValue(s.Hi, s.Unit))
+		if s.Agg != "mean" {
+			interval = fmt.Sprintf("(point, agg %s)", s.Agg)
+		}
+		fmt.Fprintf(b, "  %-*s  %-10s %-22s %s\n", width, s.Text, fmtValue(s.Point, s.Unit), interval, s.Verdict)
+		for _, sm := range s.Samples {
+			if sm.Note != "" {
+				fmt.Fprintf(b, "  %-*s  note: seed %d: %s\n", width, "", sm.Seed, sm.Note)
+			}
+		}
+		if v := s.FirstViolation; v != nil {
+			loc := fmt.Sprintf("at %v", v.At)
+			if v.Batch != 0 {
+				loc = fmt.Sprintf("batch %d at %v", v.Batch, v.At)
+			}
+			fmt.Fprintf(b, "  %-*s  first violation: seed %d, %s (%s) — %s\n",
+				width, "", v.Seed, loc, v.Detail, v.Trace)
+			if v.Span != nil {
+				fmt.Fprintf(b, "  %-*s                   span %q (pid %d, tid %d, ts_us %d)\n",
+					width, "", v.Span.Name, v.Span.Pid, v.Span.Tid, v.Span.TsUs)
+			}
+		}
+	}
 }
 
 func matchLabel(ok bool) string {

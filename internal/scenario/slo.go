@@ -20,11 +20,20 @@ import (
 // duration-valued metrics accept either a duration string ("2s", "1m30s")
 // or a float in seconds; everything else is a plain float. The parsed form
 // keeps the original text so reports echo exactly what the spec said.
+//
+// In a tenancy spec the metric may carry a `<tenant>:` prefix
+// ("steady:delay_p95 < 8s"), narrowing the sample to that tenant's batch
+// history. Only the batch-history metrics (delay_*, proc_mean, sched_mean)
+// can be tenant-scoped — the counter and recovery metrics read cluster-wide
+// state.
 type SLO struct {
 	// Text is the predicate as written in the spec.
 	Text string `json:"predicate"`
 	// Metric is the vocabulary name (see docs/SCENARIOS.md).
 	Metric string `json:"metric"`
+	// Tenant narrows a batch-history metric to one tenant of a tenancy
+	// spec's mix; empty means cluster-wide.
+	Tenant string `json:"tenant,omitempty"`
 	// Op is the comparison: <, <=, >, or >=.
 	Op string `json:"op"`
 	// Threshold is in base units: seconds, ratio, or count.
@@ -42,6 +51,7 @@ type metricDef struct {
 	unit        string // "seconds", "ratio", or "count"
 	agg         string // cross-seed aggregator: "mean", "p95", or "max"
 	needsFaults bool
+	perTenant   bool // batch-history metric: may carry a `<tenant>:` prefix
 	sample      func(*runObs) (float64, string)
 	violation   func(*runObs, SLO, float64) *Violation
 }
@@ -52,13 +62,13 @@ type metricDef struct {
 // harness's definition; the counter metrics read the run's PR-3 metrics
 // registry.
 var metricDefs = map[string]metricDef{
-	"delay_mean": {unit: "seconds", agg: "mean", sample: delaySample(statMean), violation: delayViolation},
-	"delay_p50":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.50)), violation: delayViolation},
-	"delay_p95":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.95)), violation: delayViolation},
-	"delay_p99":  {unit: "seconds", agg: "mean", sample: delaySample(statP(0.99)), violation: delayViolation},
-	"delay_max":  {unit: "seconds", agg: "mean", sample: delaySample(statMax), violation: delayViolation},
-	"proc_mean":  {unit: "seconds", agg: "mean", sample: procSample, violation: procViolation},
-	"sched_mean": {unit: "seconds", agg: "mean", sample: schedSample, violation: schedViolation},
+	"delay_mean": {unit: "seconds", agg: "mean", perTenant: true, sample: delaySample(statMean), violation: delayViolation},
+	"delay_p50":  {unit: "seconds", agg: "mean", perTenant: true, sample: delaySample(statP(0.50)), violation: delayViolation},
+	"delay_p95":  {unit: "seconds", agg: "mean", perTenant: true, sample: delaySample(statP(0.95)), violation: delayViolation},
+	"delay_p99":  {unit: "seconds", agg: "mean", perTenant: true, sample: delaySample(statP(0.99)), violation: delayViolation},
+	"delay_max":  {unit: "seconds", agg: "mean", perTenant: true, sample: delaySample(statMax), violation: delayViolation},
+	"proc_mean":  {unit: "seconds", agg: "mean", perTenant: true, sample: procSample, violation: procViolation},
+	"sched_mean": {unit: "seconds", agg: "mean", perTenant: true, sample: schedSample, violation: schedViolation},
 
 	"recovery":     {unit: "seconds", agg: "mean", needsFaults: true, sample: recoverySample, violation: recoveryViolation},
 	"recovery_p95": {unit: "seconds", agg: "p95", needsFaults: true, sample: recoverySample, violation: recoveryViolation},
@@ -93,16 +103,28 @@ func MetricNames() []string {
 	return names
 }
 
-// ParseSLO parses one predicate of the grammar `<metric> <op> <threshold>`.
+// ParseSLO parses one predicate of the grammar `<metric> <op> <threshold>`,
+// where the metric may carry a `<tenant>:` prefix in tenancy specs.
 func ParseSLO(text string) (SLO, error) {
 	fields := strings.Fields(text)
 	if len(fields) != 3 {
 		return SLO{}, fmt.Errorf("scenario: slo %q: want `<metric> <op> <threshold>`", text)
 	}
-	def, ok := metricDefs[fields[0]]
+	metric, tenantName := fields[0], ""
+	if i := strings.IndexByte(metric, ':'); i >= 0 {
+		tenantName, metric = metric[:i], metric[i+1:]
+		if tenantName == "" || metric == "" || strings.Contains(metric, ":") {
+			return SLO{}, fmt.Errorf("scenario: slo %q: want `<tenant>:<metric>` with one colon", text)
+		}
+	}
+	def, ok := metricDefs[metric]
 	if !ok {
 		return SLO{}, fmt.Errorf("scenario: slo %q: unknown metric %q (want one of %s)",
-			text, fields[0], strings.Join(MetricNames(), ", "))
+			text, metric, strings.Join(MetricNames(), ", "))
+	}
+	if tenantName != "" && !def.perTenant {
+		return SLO{}, fmt.Errorf("scenario: slo %q: metric %q is cluster-wide and cannot target a tenant (only the batch-history metrics can)",
+			text, metric)
 	}
 	switch fields[1] {
 	case "<", "<=", ">", ">=":
@@ -113,7 +135,7 @@ func ParseSLO(text string) (SLO, error) {
 	if err != nil {
 		return SLO{}, fmt.Errorf("scenario: slo %q: %v", text, err)
 	}
-	return SLO{Text: text, Metric: fields[0], Op: fields[1], Threshold: threshold, Unit: def.unit, def: def}, nil
+	return SLO{Text: text, Metric: metric, Tenant: tenantName, Op: fields[1], Threshold: threshold, Unit: def.unit, def: def}, nil
 }
 
 // parseThreshold reads a threshold in the metric's base unit. Duration

@@ -29,10 +29,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"nostop/internal/faults"
 	"nostop/internal/fleet"
 	"nostop/internal/sim"
+	"nostop/internal/tenant"
 )
 
 // Seeds is the replication axis: a list of root seeds, one job per seed.
@@ -156,9 +158,29 @@ type Spec struct {
 	Initial fleet.Static `json:"initial,omitempty"`
 	// Faults is the optional fault plan every replication replays.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Tenancy switches the scenario to multi-tenant mode: replications run
+	// a tenant mix through the cluster allocator instead of a single app,
+	// and SLO predicates may target one tenant with a `<tenant>:` prefix
+	// ("steady:delay_p95 < 8s"). Workload/Controller/Trace/Initial/Faults
+	// are unused (and rejected) in this mode.
+	Tenancy *TenancySpec `json:"tenancy,omitempty"`
 	// SLOs are the predicates, one per line of the grammar
 	// `<metric> <op> <threshold>` (see docs/SCENARIOS.md).
 	SLOs []string `json:"slos"`
+}
+
+// TenancySpec is the multi-tenant deployment under test: a tenant mix plus
+// an optional contrast allocator. With a contrast, every seed runs twice —
+// once under Mix.Allocator, once under the contrast — and the hypothesis is
+// confirmed only when the SLOs hold under the primary AND break under the
+// contrast: the differential verdict that proves the allocator itself, not
+// spare capacity, produced the outcome.
+type TenancySpec struct {
+	// Mix is the tenant mix (see docs/TENANCY.md for the format). Its
+	// horizon/warmup are overridden by the scenario's.
+	Mix tenant.MixSpec `json:"mix"`
+	// ContrastAllocator, when set, names the policy for the contrast runs.
+	ContrastAllocator string `json:"contrast_allocator,omitempty"`
 }
 
 // Decode reads a spec from strict JSON: unknown fields are errors, so a
@@ -179,12 +201,28 @@ func Decode(data []byte) (Spec, error) {
 
 // Normalize resolves every default so the report records exactly what ran:
 // controller, horizon, warmup, and trace defaults are filled in, and the
-// expected verdict is upper-cased.
+// expected verdict is upper-cased. Tenancy specs instead default their
+// horizon/warmup directly and normalize the mix (the single-app axes stay
+// zero — they are unused in that mode).
 func (s Spec) Normalize() Spec {
+	s.Expect = strings.ToUpper(s.Expect)
+	if s.Tenancy != nil {
+		t := *s.Tenancy // copy: Normalize must not mutate the caller's spec
+		s.Tenancy = &t
+		if s.Horizon == 0 {
+			s.Horizon = fleet.Duration(40 * time.Minute)
+		}
+		if s.Warmup == 0 {
+			s.Warmup = 0.5
+		}
+		if mix, err := s.tenancyMix(t.Mix.Allocator); err == nil {
+			t.Mix = mix // Validate reports the error; nothing to normalize.
+		}
+		return s
+	}
 	if s.Controller == "" {
 		s.Controller = fleet.ControllerStatic
 	}
-	s.Expect = strings.ToUpper(s.Expect)
 	fs := s.fleetSpec()
 	jobs, err := fs.Expand()
 	if err != nil || len(jobs) == 0 {
@@ -239,6 +277,93 @@ func (s Spec) fleetSpec() fleet.Spec {
 	return fs
 }
 
+// tenancyMix maps the scenario's horizon and warmup fraction onto the
+// tenant mix under the given allocator policy and returns the normalized
+// mix. The scenario owns the time axes so the primary and contrast runs are
+// guaranteed to measure the same window.
+func (s Spec) tenancyMix(allocator string) (tenant.MixSpec, error) {
+	mix := s.Tenancy.Mix
+	mix.Allocator = allocator
+	horizon := s.Horizon
+	if horizon == 0 {
+		horizon = fleet.Duration(40 * time.Minute)
+	}
+	warmup := s.Warmup
+	if warmup == 0 {
+		warmup = 0.5
+	}
+	mix.Horizon = tenant.Duration(horizon)
+	mix.Warmup = tenant.Duration(float64(horizon) * warmup)
+	norm, err := mix.Validate()
+	if err != nil {
+		return norm, fmt.Errorf("scenario: %v", err)
+	}
+	return norm, nil
+}
+
+// validateTenancy checks a tenancy-mode spec: the mix itself, the contrast
+// allocator, and the cross-field rules — faults and the single-app axes are
+// rejected, and tenant-prefixed SLOs must name a tenant that exists.
+func (s Spec) validateTenancy() error {
+	if len(s.Faults) > 0 {
+		return fmt.Errorf("scenario: faults are not yet supported with tenancy")
+	}
+	if s.Workload != "" || s.Controller != "" {
+		return fmt.Errorf("scenario: workload/controller come from the tenant mix; drop them from a tenancy spec")
+	}
+	if s.Trace != (fleet.TraceSpec{}) || s.Initial != (fleet.Static{}) {
+		return fmt.Errorf("scenario: trace/initial come from the tenant mix; drop them from a tenancy spec")
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("scenario: spec has no seeds")
+	}
+	if s.Warmup < 0 || s.Warmup >= 1 {
+		return fmt.Errorf("scenario: warmup %v outside [0, 1)", s.Warmup)
+	}
+	mix, err := s.tenancyMix(s.Tenancy.Mix.Allocator)
+	if err != nil {
+		return err
+	}
+	if c := s.Tenancy.ContrastAllocator; c != "" {
+		switch c {
+		case tenant.AllocPriority, tenant.AllocFairShare, tenant.AllocStatic:
+		default:
+			return fmt.Errorf("scenario: unknown contrast allocator %q (want %s, %s, or %s)",
+				c, tenant.AllocPriority, tenant.AllocFairShare, tenant.AllocStatic)
+		}
+		if c == mix.Allocator {
+			return fmt.Errorf("scenario: contrast allocator %q equals the primary — the differential would be vacuous", c)
+		}
+	}
+	if len(s.SLOs) == 0 {
+		return fmt.Errorf("scenario: spec has no slos")
+	}
+	names := make(map[string]bool)
+	for _, t := range mix.Tenants {
+		names[t.Name] = true
+	}
+	for _, text := range s.SLOs {
+		slo, err := ParseSLO(text)
+		if err != nil {
+			return err
+		}
+		if slo.def.needsFaults {
+			return fmt.Errorf("scenario: slo %q needs a fault plan, and faults are not yet supported with tenancy", text)
+		}
+		if slo.Tenant != "" && !names[slo.Tenant] {
+			return fmt.Errorf("scenario: slo %q targets unknown tenant %q (mix has %s)",
+				text, slo.Tenant, strings.Join(mix.TenantNames(), ", "))
+		}
+	}
+	switch s.Expect {
+	case "", VerdictConfirmed, VerdictRejected, VerdictInconclusive:
+	default:
+		return fmt.Errorf("scenario: unknown expect %q (want %s, %s, or %s)",
+			s.Expect, VerdictConfirmed, VerdictRejected, VerdictInconclusive)
+	}
+	return nil
+}
+
 // Validate checks the whole spec: deployment axes (via fleet), fault
 // windows (via the injector's plan validation), SLO predicates, and the
 // cross-field rules (recovery needs a fault plan; expect must name a
@@ -251,6 +376,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: spec has no hypothesis")
 	}
 	s = s.Normalize()
+	if s.Tenancy != nil {
+		return s.validateTenancy()
+	}
 	plan, err := s.plan()
 	if err != nil {
 		return err
@@ -271,6 +399,9 @@ func (s Spec) Validate() error {
 		}
 		if slo.def.needsFaults && len(s.Faults) == 0 {
 			return fmt.Errorf("scenario: slo %q needs a fault plan (recovery is measured after the last fault window lifts)", text)
+		}
+		if slo.Tenant != "" {
+			return fmt.Errorf("scenario: slo %q targets a tenant but the spec has no tenancy section", text)
 		}
 	}
 	switch s.Expect {

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/fleet"
+	"nostop/internal/tenant"
+)
+
+// tenancySpec is a fast two-tenant differential: priority primary versus
+// fair-share contrast on contended capacity, one seed, short horizon.
+func tenancySpec() Spec {
+	return Spec{
+		Name:       "test-tenancy",
+		Hypothesis: "priority protects the steady tenant; fair-share does not",
+		Seeds:      Seeds{1},
+		Horizon:    fleet.Duration(6 * time.Minute),
+		Warmup:     0.3,
+		Tenancy: &TenancySpec{
+			ContrastAllocator: tenant.AllocFairShare,
+			Mix: tenant.MixSpec{
+				Nodes:        4,
+				CoresPerNode: 2,
+				Partitions:   8,
+				Allocator:    tenant.AllocPriority,
+				Tenants: []tenant.TenantSpec{
+					{
+						Name: "steady", Workload: "wordcount", Controller: "static",
+						Priority: 2, SLOClass: "interactive",
+						Trace:            tenant.TraceSpec{Kind: "constant", Rate: 3000},
+						InitialExecutors: 6, BatchInterval: tenant.Duration(8 * time.Second),
+					},
+					{
+						Name: "bursty", Workload: "pageanalyze", Controller: "static",
+						Priority: 0, SLOClass: "batch",
+						Trace:            tenant.TraceSpec{Kind: "surge", Base: 1000, Peak: 8000, Start: tenant.Duration(time.Minute), Length: tenant.Duration(3 * time.Minute)},
+						InitialExecutors: 6, BatchInterval: tenant.Duration(8 * time.Second),
+					},
+				},
+			},
+		},
+		SLOs: []string{"steady:delay_p95 < 2m"},
+	}
+}
+
+// The differential verdict table: confirmation requires the SLOs to hold
+// under the primary AND break under the contrast.
+func TestCombineContrast(t *testing.T) {
+	cases := []struct {
+		primary, contrast, want string
+	}{
+		{VerdictConfirmed, VerdictRejected, VerdictConfirmed},
+		{VerdictConfirmed, VerdictConfirmed, VerdictRejected},
+		{VerdictConfirmed, VerdictInconclusive, VerdictInconclusive},
+		{VerdictRejected, VerdictRejected, VerdictRejected},
+		{VerdictRejected, VerdictConfirmed, VerdictRejected},
+		{VerdictInconclusive, VerdictRejected, VerdictInconclusive},
+	}
+	for _, tc := range cases {
+		if got := combineContrast(tc.primary, tc.contrast); got != tc.want {
+			t.Errorf("combineContrast(%s, %s) = %s, want %s", tc.primary, tc.contrast, got, tc.want)
+		}
+	}
+}
+
+// The `<tenant>:<metric>` prefix grammar: accepted on batch-history
+// metrics, rejected on cluster-wide counters and malformed forms.
+func TestParseSLOTenantPrefix(t *testing.T) {
+	slo, err := ParseSLO("steady:delay_p95 < 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.Tenant != "steady" || slo.Metric != "delay_p95" {
+		t.Fatalf("parsed tenant/metric = %q/%q, want steady/delay_p95", slo.Tenant, slo.Metric)
+	}
+	for _, tc := range []struct{ text, want string }{
+		{"steady:shed_fraction < 0.01", "cluster-wide"},
+		{"a:b:delay_p95 < 1s", "one colon"},
+		{":delay_p95 < 1s", "one colon"},
+		{"steady: < 1s", "one colon"},
+	} {
+		if _, err := ParseSLO(tc.text); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSLO(%q) = %v, want error containing %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+// Cross-field validation for tenancy specs, and the guard that keeps
+// tenant-prefixed SLOs out of single-app specs.
+func TestValidateTenancyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"faults", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "node-crash", At: fleet.Duration(time.Minute), Duration: fleet.Duration(time.Minute)}}
+		}, "faults are not yet supported"},
+		{"workload", func(s *Spec) { s.Workload = "wordcount" }, "drop them from a tenancy spec"},
+		{"unknown tenant", func(s *Spec) { s.SLOs = []string{"ghost:delay_p95 < 1s"} }, "unknown tenant"},
+		{"contrast equals primary", func(s *Spec) { s.Tenancy.ContrastAllocator = tenant.AllocPriority }, "vacuous"},
+		{"bad contrast", func(s *Spec) { s.Tenancy.ContrastAllocator = "lottery" }, "unknown contrast allocator"},
+		{"no seeds", func(s *Spec) { s.Seeds = nil }, "no seeds"},
+	}
+	for _, tc := range cases {
+		spec := tenancySpec()
+		tc.mut(&spec)
+		if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// A tenant-scoped SLO is meaningless without a tenancy section.
+	single := testSpec()
+	single.SLOs = []string{"steady:delay_p95 < 1s"}
+	if err := single.Validate(); err == nil || !strings.Contains(err.Error(), "no tenancy section") {
+		t.Errorf("single-app spec with tenant SLO: Validate() = %v, want the no-tenancy error", err)
+	}
+}
+
+// The differential run end to end: contrast section populated, artifacts
+// from both allocator arms, and the whole report byte-stable across runs.
+func TestTenancyDifferentialRun(t *testing.T) {
+	spec := tenancySpec()
+	res1, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res1.Report
+	if rep.Contrast == nil {
+		t.Fatal("report has no contrast section despite contrast_allocator")
+	}
+	if rep.Contrast.Allocator != tenant.AllocFairShare {
+		t.Errorf("contrast allocator = %q, want %q", rep.Contrast.Allocator, tenant.AllocFairShare)
+	}
+	if rep.Replications != 1 {
+		t.Errorf("replications = %d, want 1 (contrast runs do not count)", rep.Replications)
+	}
+	if len(rep.SLOs) != 1 || len(rep.Contrast.SLOs) != 1 {
+		t.Fatalf("SLO result counts = %d primary / %d contrast, want 1/1", len(rep.SLOs), len(rep.Contrast.SLOs))
+	}
+	if rep.SLOs[0].Tenant != "steady" {
+		t.Errorf("primary SLO result tenant = %q, want steady", rep.SLOs[0].Tenant)
+	}
+	// Both arms leave their trace + metrics artifacts, contrast-prefixed.
+	var primary, contrast int
+	for _, art := range res1.Artifacts {
+		if len(art.Data) == 0 {
+			t.Fatalf("artifact %s is empty", art.Name)
+		}
+		if strings.Contains(art.Name, "contrast-") {
+			contrast++
+		} else {
+			primary++
+		}
+	}
+	if primary != 2 || contrast != 2 {
+		t.Fatalf("artifacts = %d primary / %d contrast, want 2/2", primary, contrast)
+	}
+
+	res2, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res1.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res2.Report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tenancy reports differ across identical runs:\n%s\n---\n%s", a, b)
+	}
+	// The rendered report names the deployment and the contrast arm.
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"deployment mix", "allocator " + tenant.AllocPriority, "contrast (allocator " + tenant.AllocFairShare} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+}

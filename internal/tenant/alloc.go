@@ -1,0 +1,134 @@
+package tenant
+
+// The cluster-level allocator arbitrates executor grants between competing
+// per-tenant controllers. Each reconcile round collects every tenant's
+// demand (the executor count its controller last asked for), computes a
+// grant vector under the mix's policy, and pushes the grants through the
+// tenants' gates. Everything is a pure function of the sorted demand list,
+// so grants are deterministic regardless of which tenant's controller moved
+// last.
+
+// demand is one tenant's standing in an allocation round.
+type demand struct {
+	name     string
+	priority int
+	weight   float64
+	want     int // executors the tenant's controller asked for (>= 1)
+}
+
+// allocate computes the grant vector for the given demands under the policy.
+// Demands must be sorted by name (the canonical mix order); every tenant is
+// granted at least 1 executor (the mix validator guarantees capacity >=
+// len(demands)), and no tenant is granted more than it wants. Returns
+// grants aligned with the input slice.
+func allocate(policy string, demands []demand, capacity int) []int {
+	grants := make([]int, len(demands))
+	if len(demands) == 0 {
+		return grants
+	}
+	// Liveness floor: one executor each, so no policy can starve a tenant
+	// into a dead engine. Policies distribute the remainder.
+	remaining := capacity
+	for i := range demands {
+		grants[i] = 1
+		remaining--
+	}
+	switch policy {
+	case AllocPriority:
+		allocatePriority(demands, grants, remaining)
+	case AllocStatic:
+		allocateStatic(demands, grants, remaining)
+	default: // AllocFairShare
+		allocateFairShare(demands, grants, remaining)
+	}
+	return grants
+}
+
+// allocatePriority serves strictly by (priority desc, name asc): each tier
+// takes its full residual demand before the next tier sees capacity.
+func allocatePriority(demands []demand, grants []int, remaining int) {
+	// Order indices by priority; the input is name-sorted, so ties resolve
+	// by name without a secondary key (stable selection below).
+	for remaining > 0 {
+		best := -1
+		for i, d := range demands {
+			if grants[i] >= d.want {
+				continue
+			}
+			if best == -1 || d.priority > demands[best].priority {
+				best = i
+			}
+		}
+		if best == -1 {
+			return // everyone satisfied
+		}
+		take := demands[best].want - grants[best]
+		if take > remaining {
+			take = remaining
+		}
+		grants[best] += take
+		remaining -= take
+	}
+}
+
+// allocateFairShare is weighted max-min water-filling: capacity is handed
+// out one executor at a time to the tenant with the lowest
+// grant-per-weight ratio among the still-hungry (ties: lowest index, i.e.
+// name order). Low-demand tenants cap out early and their share flows to
+// the rest — the property that lets a bursty tenant absorb a steady
+// tenant's headroom, which is exactly the noisy-neighbor failure mode the
+// priority policy prevents.
+func allocateFairShare(demands []demand, grants []int, remaining int) {
+	for remaining > 0 {
+		best := -1
+		// Compare grant/weight as cross-products to stay in integers ×
+		// float64 without division (weight > 0 by validation; 0 weights
+		// were normalized to 1).
+		for i, d := range demands {
+			if grants[i] >= d.want {
+				continue
+			}
+			if best == -1 ||
+				float64(grants[i])*demands[best].weight < float64(grants[best])*d.weight {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		grants[best]++
+		remaining--
+	}
+}
+
+// allocateStatic carves weight-proportional quotas up front and never
+// rebalances: unused quota is stranded, modeling per-team static
+// reservations. Rounding remainders go to earlier (name-ordered) tenants.
+func allocateStatic(demands []demand, grants []int, remaining int) {
+	totalW := 0.0
+	for _, d := range demands {
+		totalW += d.weight
+	}
+	if totalW <= 0 {
+		return
+	}
+	// Integer largest-remainder apportionment of `remaining` by weight.
+	quota := make([]int, len(demands))
+	assigned := 0
+	for i, d := range demands {
+		q := int(float64(remaining) * d.weight / totalW)
+		quota[i] = q
+		assigned += q
+	}
+	for i := 0; assigned < remaining && i < len(demands); i++ {
+		quota[i]++
+		assigned++
+	}
+	for i, d := range demands {
+		g := grants[i] + quota[i]
+		if g > d.want {
+			g = d.want // demand-capped; the surplus is stranded by design
+		}
+		grants[i] = g
+	}
+}

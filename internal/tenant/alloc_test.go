@@ -1,0 +1,101 @@
+package tenant
+
+import "testing"
+
+func dm(name string, pri int, w float64, want int) demand {
+	return demand{name: name, priority: pri, weight: w, want: want}
+}
+
+// Every policy must keep every tenant alive: one executor each, even when
+// capacity is exactly the tenant count.
+func TestAllocateLivenessFloor(t *testing.T) {
+	demands := []demand{dm("a", 0, 1, 10), dm("b", 5, 1, 10), dm("c", 9, 1, 10)}
+	for _, policy := range []string{AllocPriority, AllocFairShare, AllocStatic} {
+		grants := allocate(policy, demands, 3)
+		for i, g := range grants {
+			if g != 1 {
+				t.Errorf("%s: tenant %s granted %d with capacity == tenants, want 1", policy, demands[i].name, g)
+			}
+		}
+	}
+}
+
+// Priority serves tiers strictly: the top tier takes its full residual
+// demand before the next tier sees any capacity.
+func TestAllocatePriorityStrictTiers(t *testing.T) {
+	demands := []demand{dm("a", 0, 1, 10), dm("b", 2, 1, 10), dm("c", 1, 1, 10)}
+	grants := allocate(AllocPriority, demands, 15)
+	// Floor: 1 each (12 left). b (pri 2) takes 9 more -> 10; c (pri 1)
+	// takes the remaining 3 -> 4; a stays at the floor.
+	want := []int{1, 10, 4}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("priority grants %v, want %v", grants, want)
+		}
+	}
+}
+
+// Equal priorities resolve by name order (the demand slice is name-sorted),
+// keeping the grant vector independent of map iteration or arrival order.
+func TestAllocatePriorityTieByName(t *testing.T) {
+	demands := []demand{dm("a", 1, 1, 8), dm("b", 1, 1, 8)}
+	grants := allocate(AllocPriority, demands, 9)
+	if grants[0] != 8 || grants[1] != 1 {
+		t.Fatalf("tie grants %v, want [8 1] (name order wins)", grants)
+	}
+}
+
+// Fair share water-fills proportionally to weight.
+func TestAllocateFairShareWeights(t *testing.T) {
+	demands := []demand{dm("a", 0, 1, 10), dm("b", 0, 2, 10)}
+	grants := allocate(AllocFairShare, demands, 9)
+	if grants[0] != 3 || grants[1] != 6 {
+		t.Fatalf("weighted fair-share grants %v, want [3 6]", grants)
+	}
+}
+
+// A tenant that caps out at its demand releases its share to the rest —
+// the headroom-absorption property behind the noisy-neighbor scenario.
+func TestAllocateFairShareRedistributesHeadroom(t *testing.T) {
+	demands := []demand{dm("a", 0, 1, 2), dm("b", 0, 1, 10)}
+	grants := allocate(AllocFairShare, demands, 12)
+	if grants[0] != 2 || grants[1] != 10 {
+		t.Fatalf("fair-share grants %v, want [2 10] (a's headroom flows to b)", grants)
+	}
+}
+
+// Static quotas never rebalance: a's unused quota is stranded, not given
+// to b.
+func TestAllocateStaticStrandsSurplus(t *testing.T) {
+	demands := []demand{dm("a", 0, 1, 1), dm("b", 0, 1, 10)}
+	grants := allocate(AllocStatic, demands, 12)
+	if grants[0] != 1 || grants[1] != 6 {
+		t.Fatalf("static grants %v, want [1 6] (a's quota stranded)", grants)
+	}
+}
+
+// Invariants that hold for every policy: grants conserve capacity, respect
+// the liveness floor, and never exceed demand (beyond the floor).
+func TestAllocateInvariants(t *testing.T) {
+	demands := []demand{
+		dm("a", 2, 1, 3), dm("b", 0, 2, 17), dm("c", 1, 0.5, 1), dm("d", 2, 3, 9),
+	}
+	for _, policy := range []string{AllocPriority, AllocFairShare, AllocStatic} {
+		for _, capacity := range []int{4, 10, 30, 100} {
+			grants := allocate(policy, demands, capacity)
+			sum := 0
+			for i, g := range grants {
+				sum += g
+				if g < 1 {
+					t.Errorf("%s/cap=%d: tenant %s granted %d, floor is 1", policy, capacity, demands[i].name, g)
+				}
+				if max := demands[i].want; g > max && g != 1 {
+					t.Errorf("%s/cap=%d: tenant %s granted %d beyond demand %d", policy, capacity, demands[i].name, g, max)
+				}
+			}
+			if sum > capacity {
+				t.Errorf("%s/cap=%d: grants %v exceed capacity", policy, capacity, grants)
+			}
+		}
+	}
+}

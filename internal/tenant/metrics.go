@@ -1,0 +1,95 @@
+package tenant
+
+import (
+	"nostop/internal/engine"
+	"nostop/internal/metrics"
+)
+
+// Metrics is the nostop_tenant_* instrument family. Cardinality is bounded
+// by construction: every per-tenant instrument is created up front from the
+// mix's spec'd tenant list, and emissions for any tenant outside that list
+// are counted on an unlabeled rejection counter instead of minting a new
+// series. A compromised or buggy producer therefore cannot explode the
+// registry no matter what strings it supplies — the registry's series set
+// is fixed the moment the mix is validated.
+type Metrics struct {
+	batches   map[string]*metrics.Counter
+	records   map[string]*metrics.Counter
+	granted   map[string]*metrics.Gauge
+	demanded  map[string]*metrics.Gauge
+	preempted map[string]*metrics.Counter
+	delay     map[string]*metrics.Histogram
+	rejected  *metrics.Counter
+}
+
+// delayBuckets spans interactive SLOs (1s) through queue collapse (10m).
+var delayBuckets = []float64{1, 2, 5, 10, 20, 40, 80, 160, 320, 600}
+
+// NewMetrics creates the family on r for exactly the given tenants. A nil
+// registry returns nil; all methods are nil-safe, preserving the
+// zero-perturbation guarantee for unobserved runs.
+func NewMetrics(r *metrics.Registry, tenants []string) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		batches:   make(map[string]*metrics.Counter, len(tenants)),
+		records:   make(map[string]*metrics.Counter, len(tenants)),
+		granted:   make(map[string]*metrics.Gauge, len(tenants)),
+		demanded:  make(map[string]*metrics.Gauge, len(tenants)),
+		preempted: make(map[string]*metrics.Counter, len(tenants)),
+		delay:     make(map[string]*metrics.Histogram, len(tenants)),
+		rejected: r.Counter("nostop_tenant_label_rejected_total",
+			"Emissions naming a tenant outside the spec'd list (cardinality guard)."),
+	}
+	for _, t := range tenants {
+		l := metrics.L("tenant", t)
+		m.batches[t] = r.Counter("nostop_tenant_batches_total",
+			"Completed batches per tenant.", l)
+		m.records[t] = r.Counter("nostop_tenant_records_total",
+			"Records processed in completed batches per tenant.", l)
+		m.granted[t] = r.Gauge("nostop_tenant_executors_granted",
+			"Executors the cluster allocator currently grants the tenant.", l)
+		m.demanded[t] = r.Gauge("nostop_tenant_executors_demanded",
+			"Executors the tenant's controller currently asks for.", l)
+		m.preempted[t] = r.Counter("nostop_tenant_preemptions_total",
+			"Reconcile rounds that preempted live executors from the tenant.", l)
+		m.delay[t] = r.Histogram("nostop_tenant_delay_seconds",
+			"End-to-end delay of the tenant's completed batches.", delayBuckets, l)
+	}
+	return m
+}
+
+// OnBatch records one completed batch for its tenant. Unknown tenants hit
+// the rejection counter — the runtime half of the bounded-cardinality
+// guard (the static half is obscontract's constant-name rule).
+func (m *Metrics) OnBatch(bs engine.BatchStats) {
+	if m == nil {
+		return
+	}
+	c, ok := m.batches[bs.Tenant]
+	if !ok {
+		m.rejected.Inc()
+		return
+	}
+	c.Inc()
+	m.records[bs.Tenant].Add(float64(bs.Records))
+	m.delay[bs.Tenant].Observe(bs.EndToEndDelay.Seconds())
+}
+
+// OnGrant records a reconcile round's outcome for one tenant.
+func (m *Metrics) OnGrant(tenant string, demand, grant int, preempted bool) {
+	if m == nil {
+		return
+	}
+	g, ok := m.granted[tenant]
+	if !ok {
+		m.rejected.Inc()
+		return
+	}
+	g.Set(float64(grant))
+	m.demanded[tenant].Set(float64(demand))
+	if preempted {
+		m.preempted[tenant].Inc()
+	}
+}

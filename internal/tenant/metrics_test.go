@@ -1,0 +1,88 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nostop/internal/engine"
+	"nostop/internal/metrics"
+)
+
+// snapshot renders the registry's Prometheus exposition for inspection.
+func snapshot(t *testing.T, r *metrics.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The runtime half of the bounded-cardinality guard: an emission naming a
+// tenant outside the spec'd list must increment the rejection counter and
+// must NOT mint a new labeled series.
+func TestMetricsCardinalityGuard(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fam := NewMetrics(reg, []string{"alpha", "beta"})
+
+	fam.OnBatch(engine.BatchStats{Tenant: "alpha", Records: 10, EndToEndDelay: 3 * time.Second})
+	before := snapshot(t, reg)
+
+	fam.OnBatch(engine.BatchStats{Tenant: "evil-$(rm -rf)", Records: 1})
+	fam.OnGrant("another-intruder", 4, 4, false)
+	after := snapshot(t, reg)
+
+	if got := fam.rejected.Value(); got != 2 {
+		t.Fatalf("rejected counter = %v after two unknown-tenant emissions, want 2", got)
+	}
+	for _, bad := range []string{"evil", "intruder"} {
+		if strings.Contains(after, bad) {
+			t.Fatalf("unknown tenant %q leaked into the exposition:\n%s", bad, after)
+		}
+	}
+	// Series count must be unchanged: only the pre-created family plus the
+	// unlabeled rejection counter may appear.
+	if a, b := strings.Count(before, "nostop_tenant_"), strings.Count(after, "nostop_tenant_"); b != a {
+		t.Fatalf("unknown-tenant emission changed the series set: %d lines -> %d", a, b)
+	}
+}
+
+func TestMetricsKnownTenantCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fam := NewMetrics(reg, []string{"alpha"})
+	fam.OnBatch(engine.BatchStats{Tenant: "alpha", Records: 7, EndToEndDelay: 2 * time.Second})
+	fam.OnBatch(engine.BatchStats{Tenant: "alpha", Records: 5, EndToEndDelay: 4 * time.Second})
+	fam.OnGrant("alpha", 6, 4, true)
+
+	if got := fam.batches["alpha"].Value(); got != 2 {
+		t.Errorf("batches = %v, want 2", got)
+	}
+	if got := fam.records["alpha"].Value(); got != 12 {
+		t.Errorf("records = %v, want 12", got)
+	}
+	if got := fam.preempted["alpha"].Value(); got != 1 {
+		t.Errorf("preemptions = %v, want 1", got)
+	}
+	out := snapshot(t, reg)
+	for _, series := range []string{
+		`nostop_tenant_batches_total{tenant="alpha"} 2`,
+		`nostop_tenant_executors_granted{tenant="alpha"} 4`,
+		`nostop_tenant_executors_demanded{tenant="alpha"} 6`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %q:\n%s", series, out)
+		}
+	}
+}
+
+// A nil registry disables the family without nil-panics anywhere — the
+// zero-perturbation contract for unobserved runs.
+func TestMetricsNilSafe(t *testing.T) {
+	var fam *Metrics = NewMetrics(nil, []string{"a"})
+	if fam != nil {
+		t.Fatal("NewMetrics(nil, ...) should return nil")
+	}
+	fam.OnBatch(engine.BatchStats{Tenant: "a"})
+	fam.OnGrant("a", 1, 1, false)
+}
