@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke ask-smoke tenants-smoke docs verify
+.PHONY: build vet test race chaos bench fleet serve-soak trace golden fuzz-smoke escape-smoke ask-smoke tenants-smoke zoo-smoke docs verify
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ bench:
 	$(GO) run ./cmd/nostop-bench -experiment fleet -benchout BENCH_fleet.json -min-speedup 1.2
 	$(GO) run ./cmd/nostop-bench -experiment kernel -benchout BENCH_kernel.json
 	$(GO) run ./cmd/nostop-bench -experiment tenants -benchout BENCH_tenants.json
+	$(GO) run ./cmd/nostop-bench -experiment zoo -benchout BENCH_zoo.json
 	$(GO) test ./internal/sim/bench -bench . -benchmem
 
 ## golden: regenerate the golden-master artifacts after an INTENDED
@@ -49,6 +50,7 @@ golden:
 fuzz-smoke:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventQueue -fuzztime 30s
 	$(GO) test ./internal/fleet -run '^$$' -fuzz FuzzFleetSpec -fuzztime 30s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzConfigSpace -fuzztime 30s
 
 ## fleet: small parallel sweep with resume — the nostop-fleet smoke path.
 fleet:
@@ -90,6 +92,16 @@ tenants-smoke:
 docs:
 	$(GO) test -run 'TestDocs' -count=1 .
 
+## zoo-smoke: the controller-zoo smoke — the five-controller chaos sweep
+## over the widened config space under the race detector, then a plain
+## same-seed rerun at a different parallelism whose rendered report must
+## compare byte-identical (the cross-controller determinism contract at CLI
+## granularity).
+zoo-smoke:
+	$(GO) run -race ./cmd/nostop-zoo -seeds 2 -horizon 20m -j 8 -out /tmp/nostop-zoo-a.txt
+	$(GO) run ./cmd/nostop-zoo -seeds 2 -horizon 20m -j 1 -out /tmp/nostop-zoo-b.txt
+	cmp /tmp/nostop-zoo-a.txt /tmp/nostop-zoo-b.txt
+
 ## trace: short observed run; nostop-sim validates the emitted file against
 ## the Chrome trace_event schema shape and exits non-zero if it is malformed.
 trace:
@@ -108,4 +120,4 @@ escape-smoke:
 		> /tmp/nostop-escapes.txt
 	diff -u internal/sim/escape_allowlist.txt /tmp/nostop-escapes.txt
 
-verify: build vet test race escape-smoke trace ask-smoke tenants-smoke
+verify: build vet test race escape-smoke trace ask-smoke tenants-smoke zoo-smoke

@@ -53,7 +53,7 @@ func names() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return strings.Join(append([]string{"all", "table2", "fleet", "kernel", "tenants"}, keys...), ", ")
+	return strings.Join(append([]string{"all", "table2", "fleet", "kernel", "tenants", "zoo"}, keys...), ", ")
 }
 
 func main() {
@@ -114,6 +114,15 @@ func main() {
 			out = "BENCH_tenants.json"
 		}
 		if err := runTenantsBench(out, *record, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
+			os.Exit(1)
+		}
+	case "zoo":
+		out := *bench
+		if out == "" {
+			out = "BENCH_zoo.json"
+		}
+		if err := runZooBench(out, *record, *compare); err != nil {
 			fmt.Fprintln(os.Stderr, "nostop-bench:", err)
 			os.Exit(1)
 		}
@@ -448,6 +457,107 @@ func runTenantsBench(outPath string, recordBaseline bool, comparePath string) er
 // readTenantsResult loads a previous BENCH_tenants.json.
 func readTenantsResult(path string) (tenantsBenchResult, error) {
 	var res tenantsBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %v", path, err)
+	}
+	return res, nil
+}
+
+// zooBenchResult is the BENCH_zoo.json schema: the controller-zoo sweep
+// (every registered controller over the widened config space under the
+// chaos plan) timed end to end, with the same-seed determinism check riding
+// along.
+type zooBenchResult struct {
+	Controllers         int     `json:"controllers"`
+	Seeds               int     `json:"seeds"`
+	NumCPU              int     `json:"numcpu"`
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	Reduction           float64 `json:"reduction"`
+	ReportSHA256        string  `json:"report_sha256"`
+	ReportsIdentical    bool    `json:"reports_identical"`
+}
+
+// zooBenchConfig is the fixed sweep behind -experiment zoo: every zoo
+// controller, two seeds, a 40-minute horizon — small enough for CI,
+// large enough that the tuners finish their searches.
+func zooBenchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Repetitions: 2, Horizon: 40 * time.Minute, Warmup: 0.5}
+}
+
+// runZooBench runs the zoo sweep twice under the same seed (the warm-up run
+// doubles as the byte-identical determinism check), times the second run,
+// carries the recorded baseline forward, and optionally compares against a
+// previous result file, failing on a >10% wall-clock regression.
+func runZooBench(outPath string, recordBaseline bool, comparePath string) error {
+	cfg := zooBenchConfig()
+	warmTab, err := experiments.ControllerZoo(cfg)
+	if err != nil {
+		return err
+	}
+	var warm strings.Builder
+	warmTab.Render(&warm)
+
+	start := time.Now()
+	tab, err := experiments.ControllerZoo(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	var rendered strings.Builder
+	tab.Render(&rendered)
+
+	res := zooBenchResult{
+		Controllers:      len(experiments.ZooControllers()),
+		Seeds:            cfg.Repetitions,
+		NumCPU:           runtime.NumCPU(),
+		WallSeconds:      wall,
+		ReportSHA256:     fmt.Sprintf("%x", sha256.Sum256([]byte(rendered.String()))),
+		ReportsIdentical: warm.String() == rendered.String(),
+	}
+	if prev, err := readZooResult(outPath); err == nil && !recordBaseline {
+		res.BaselineWallSeconds = prev.BaselineWallSeconds
+	} else {
+		res.BaselineWallSeconds = wall
+	}
+	if res.BaselineWallSeconds > 0 {
+		res.Reduction = 1 - res.WallSeconds/res.BaselineWallSeconds
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteFileAtomic(outPath, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("zoo bench: %d controllers x %d seeds, wall %.1fs, reports identical: %v -> %s\n",
+		res.Controllers, res.Seeds, res.WallSeconds, res.ReportsIdentical, outPath)
+	if !res.ReportsIdentical {
+		return fmt.Errorf("zoo reports diverged between same-seed runs")
+	}
+	if comparePath != "" {
+		prev, err := readZooResult(comparePath)
+		if err != nil {
+			return fmt.Errorf("compare: %v", err)
+		}
+		ratio := res.WallSeconds / prev.WallSeconds
+		fmt.Printf("zoo bench compare: base %.1fs, head %.1fs, ratio %.3f\n",
+			prev.WallSeconds, res.WallSeconds, ratio)
+		if ratio > 1.10 {
+			return fmt.Errorf("zoo benchmark regressed %.1f%% (base %.1fs, head %.1fs)",
+				100*(ratio-1), prev.WallSeconds, res.WallSeconds)
+		}
+	}
+	return nil
+}
+
+// readZooResult loads a previous BENCH_zoo.json.
+func readZooResult(path string) (zooBenchResult, error) {
+	var res zooBenchResult
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return res, err

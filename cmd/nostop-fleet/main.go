@@ -39,7 +39,8 @@ func main() {
 	var (
 		specPath    = flag.String("spec", "", "JSON sweep spec file (overrides the inline grid flags)")
 		workloads   = flag.String("workloads", "logreg", "comma-separated workloads (logreg,linreg,wordcount,pageanalyze)")
-		controllers = flag.String("controllers", "static,nostop", "comma-separated controllers (static,nostop,backpressure,bo)")
+		controllers = flag.String("controllers", "static,nostop",
+			"comma-separated controllers ("+strings.Join(fleet.ControllerNames(), ",")+")")
 		seeds       = flag.String("seeds", "1-5", "seed list: comma-separated values and lo-hi ranges, e.g. 1,2,5-8")
 		horizon     = flag.Duration("horizon", 40*time.Minute, "virtual run duration per job")
 		warmup      = flag.Float64("warmup", 0.5, "fraction of each run discarded before measuring")

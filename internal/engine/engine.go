@@ -1089,8 +1089,41 @@ func (e *Engine) Partitions() int { return len(e.topic.Partitions) }
 
 // SetIngestCap adjusts the accepted input rate limit (records/second);
 // non-positive removes the limit. This is the actuator for the
-// back-pressure baseline.
+// back-pressure baseline and the ingest_cap axis of the widened config
+// space.
 func (e *Engine) SetIngestCap(limit float64) { e.ingestCap = limit }
+
+// IngestCap returns the current accepted input rate limit (records/second);
+// 0 means uncapped.
+func (e *Engine) IngestCap() float64 { return e.ingestCap }
+
+// SetTaskMaxFailures adjusts the per-batch attempt budget at runtime — the
+// actuator for the widened config space's retry_budget axis. Values below 1
+// clamp to 1 (every batch gets at least one attempt). The new budget
+// applies to attempts finishing after the call.
+func (e *Engine) SetTaskMaxFailures(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.opts.TaskMaxFailures = n
+}
+
+// TaskMaxFailures returns the live per-batch attempt budget.
+func (e *Engine) TaskMaxFailures() int { return e.opts.TaskMaxFailures }
+
+// SetSpeculativeMultiplier adjusts the speculation slowdown gate at runtime
+// — the actuator for the widened config space's speculation_threshold axis.
+// Values below 1 clamp to 1 (speculate on any slowdown); disabling
+// speculation entirely remains a construction-time choice.
+func (e *Engine) SetSpeculativeMultiplier(m float64) {
+	if m < 1 {
+		m = 1
+	}
+	e.opts.SpeculativeMultiplier = m
+}
+
+// SpeculativeMultiplier returns the live speculation slowdown gate.
+func (e *Engine) SpeculativeMultiplier() float64 { return e.opts.SpeculativeMultiplier }
 
 // RecentRateMean returns the mean observed arrival rate (records/second)
 // over the rate window.

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nostop/internal/core"
+	"nostop/internal/engine"
+	"nostop/internal/fleet"
+	"nostop/internal/sim"
+	"nostop/internal/workload"
+)
+
+// ZooControllers is the controller-zoo lineup: the paper's SPSA controller
+// head-to-head against a do-nothing floor, Spark's back-pressure, and the
+// two widened-space auto-tuners (uncertainty-aware GP, tabular Q-learning).
+// The two-parameter BayesOpt baseline stays registered for Fig 8 but is not
+// part of the zoo — the GP tuner is its widened-space successor.
+func ZooControllers() []string {
+	return []string{
+		fleet.ControllerStatic,
+		fleet.ControllerNoStop,
+		fleet.ControllerBackPressure,
+		fleet.ControllerGP,
+		fleet.ControllerRL,
+	}
+}
+
+// ZooSpace returns the widened v1 configuration space the zoo runs every
+// controller over: the engine's default structural bounds plus block
+// interval, an ingest cap bracketing the workload's peak nominal rate, the
+// retry budget, and the speculation threshold.
+func ZooSpace(wlName string) (core.ConfigSpace, error) {
+	wl, err := workload.New(wlName)
+	if err != nil {
+		return core.ConfigSpace{}, err
+	}
+	_, peak := wl.RateBand()
+	return core.WidenedSpace(engine.DefaultBounds(), peak), nil
+}
+
+// ControllerZoo runs the zoo lineup over the widened config space under the
+// scripted chaos plan (the PR-1 five-window fault sequence) and reports
+// delay, recovery, and shedding per controller, averaged over
+// cfg.Repetitions seeds. Runs execute on the fleet worker pool into
+// per-index slots, so the rendered table is byte-identical at any
+// parallelism.
+func ControllerZoo(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	const wlName = "logreg"
+	space, err := ZooSpace(wlName)
+	if err != nil {
+		return nil, err
+	}
+	plan := ChaosPlan(cfg.Horizon)
+	planEnd := plan.End()
+	preFrom, preTo := sim.Time(float64(cfg.Horizon)*0.15), plan.Start()
+	if preFrom >= preTo {
+		preFrom = preTo / 2
+	}
+
+	ctls := ZooControllers()
+	type job struct {
+		ctl  string
+		seed uint64
+	}
+	var jobs []job
+	for _, ctl := range ctls {
+		for r := 0; r < cfg.Repetitions; r++ {
+			jobs = append(jobs, job{ctl: ctl, seed: cfg.Seed + uint64(r)})
+		}
+	}
+	type slot struct {
+		pre, post float64
+		recovery  time.Duration
+		reconfigs int
+		shed      int
+		dropped   int64
+		failed    int64
+		lost      int64
+	}
+	results := make([]slot, len(jobs))
+	if err := cfg.parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		fj := fleet.Job{
+			Workload:   wlName,
+			Controller: j.ctl,
+			Seed:       j.seed,
+			Horizon:    fleet.Duration(cfg.Horizon),
+			Warmup:     cfg.Warmup,
+			Trace:      fleet.TraceSpec{Kind: "band", Period: fleet.Duration(5 * time.Second)},
+			Plan:       fleet.NamedPlan{Name: "chaos", Faults: plan},
+			Space:      &space,
+		}
+		sum, det, err := fleet.ExecuteObserved(fj, fleet.Observe{})
+		if err != nil {
+			return fmt.Errorf("experiments: zoo %s/seed=%d: %v", j.ctl, j.seed, err)
+		}
+		history := det.Engine.History()
+		pre := SteadyE2E(history, preFrom, preTo)
+		results[i] = slot{
+			pre:       pre,
+			post:      SteadyE2E(history, planEnd, sim.Time(cfg.Horizon)),
+			recovery:  RecoveryTime(history, planEnd, pre),
+			reconfigs: sum.Reconfigs,
+			shed:      det.Engine.ShedEvents(),
+			dropped:   det.Engine.DroppedByCap(),
+			failed:    det.Engine.FailedBatches(),
+			lost:      det.Engine.FailedRecords(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Controller zoo: %d controllers over the widened config space, %d chaos windows (%s, %d seeds)",
+			len(ctls), len(plan), wlName, cfg.Repetitions),
+		Header: []string{"controller", "pre-fault e2e(s)", "post-recovery e2e(s)", "recovery",
+			"reconfigs", "shed", "dropped", "failed", "lost"},
+	}
+	for ci, ctl := range ctls {
+		rows := results[ci*cfg.Repetitions : (ci+1)*cfg.Repetitions]
+		var pre, post meanAcc
+		var recSum time.Duration
+		recovered := 0
+		var reconfigs, shed float64
+		var dropped, failed, lost float64
+		for _, r := range rows {
+			pre.add(r.pre)
+			post.add(r.post)
+			if r.recovery >= 0 {
+				recSum += r.recovery
+				recovered++
+			}
+			reconfigs += float64(r.reconfigs)
+			shed += float64(r.shed)
+			dropped += float64(r.dropped)
+			failed += float64(r.failed)
+			lost += float64(r.lost)
+		}
+		n := float64(len(rows))
+		recovery := "never"
+		if recovered > 0 {
+			mean := time.Duration(int64(recSum) / int64(recovered))
+			recovery = fmtRecovery(mean)
+			if recovered < len(rows) {
+				recovery = fmt.Sprintf("%s (%d/%d)", recovery, recovered, len(rows))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			ctl,
+			fmtE2E(pre.mean()),
+			fmtE2E(post.mean()),
+			recovery,
+			fmt.Sprintf("%.1f", reconfigs/n),
+			fmt.Sprintf("%.1f", shed/n),
+			fmt.Sprintf("%.1f", dropped/n),
+			fmt.Sprintf("%.1f", failed/n),
+			fmt.Sprintf("%.1f", lost/n),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("widened space: %d axes (batch interval, executors, block interval, ingest cap, retry budget, speculation threshold)", len(space.Axes)),
+		"pre-fault / post-recovery = clean-batch e2e means before the first and after the last fault window",
+		"recovery = rolling clean-batch e2e mean back within 1.2x of pre-fault after the last window lifts; (k/n) counts recovered seeds",
+		"counters are per-seed means; dropped = records refused by the ingest cap, lost = records in batches that exhausted the retry budget")
+	return t, nil
+}
+
+// meanAcc averages the non-NaN observations (SteadyE2E is NaN when a window
+// saw no clean batches; one bad seed must not poison the cell).
+type meanAcc struct {
+	sum float64
+	n   int
+}
+
+func (m *meanAcc) add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.sum += v
+	m.n++
+}
+
+func (m *meanAcc) mean() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.sum / float64(m.n)
+}

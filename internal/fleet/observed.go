@@ -7,8 +7,10 @@ import (
 	"nostop/internal/core"
 	"nostop/internal/engine"
 	"nostop/internal/faults"
+	"nostop/internal/gptuner"
 	"nostop/internal/metrics"
 	"nostop/internal/ratetrace"
+	"nostop/internal/rltuner"
 	"nostop/internal/rng"
 	"nostop/internal/sim"
 	"nostop/internal/tenant"
@@ -84,14 +86,22 @@ func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
 		initial.Executors = job.Initial.Executors
 	}
 
-	eng, err := engine.New(clock, engine.Options{
+	engOpts := engine.Options{
 		Workload: wl,
 		Trace:    trace,
 		Seed:     seed.Split("engine"),
 		Initial:  initial,
 		Metrics:  obs.Metrics,
 		Tracer:   tr,
-	})
+	}
+	if job.Space != nil {
+		// The widened space is authoritative on the engine's feasible
+		// region, so every controller — space-aware or not — tunes inside
+		// the same box.
+		engOpts.Bounds = job.Space.EngineBounds()
+		engOpts.Initial = engOpts.Bounds.Clamp(initial)
+	}
+	eng, err := engine.New(clock, engOpts)
 	if err != nil {
 		return Summary{}, nil, err
 	}
@@ -111,11 +121,18 @@ func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
 	switch job.Controller {
 	case ControllerStatic:
 	case ControllerNoStop:
-		if ctl, err = core.New(eng, core.Options{
+		copts := core.Options{
 			Seed:    seed.Split("controller"),
 			Metrics: obs.Metrics,
 			Tracer:  tr,
-		}); err != nil {
+		}
+		if job.Space != nil {
+			// SPSA tunes the block axis too when the space declares it.
+			if _, ok := job.Space.Axis(core.ParamBlockInterval); ok {
+				copts.TuneBlockInterval = true
+			}
+		}
+		if ctl, err = core.New(eng, copts); err != nil {
 			return Summary{}, nil, err
 		}
 		err = ctl.Attach()
@@ -131,8 +148,28 @@ func ExecuteObserved(job Job, obs Observe) (Summary, *RunDetail, error) {
 			return Summary{}, nil, err
 		}
 		err = bo.Attach()
+	case ControllerGP:
+		gopts := gptuner.Options{Seed: seed.Split("gp")}
+		if job.Space != nil {
+			gopts.Space = *job.Space
+		}
+		var gt *gptuner.Tuner
+		if gt, err = gptuner.New(eng, gopts); err != nil {
+			return Summary{}, nil, err
+		}
+		err = gt.Attach()
+	case ControllerRL:
+		ropts := rltuner.Options{Seed: seed.Split("rl")}
+		if job.Space != nil {
+			ropts.Space = *job.Space
+		}
+		var rt *rltuner.Tuner
+		if rt, err = rltuner.New(eng, ropts); err != nil {
+			return Summary{}, nil, err
+		}
+		err = rt.Attach()
 	default:
-		return Summary{}, nil, fmt.Errorf("fleet: unknown controller %q", job.Controller)
+		return Summary{}, nil, UnknownControllerError(job.Controller)
 	}
 	if err != nil {
 		return Summary{}, nil, err

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ControllerInfo is one entry of the controller registry — the single
+// source of truth for which tuners the fleet can attach. The fleet spec
+// validator, the scenario spec validator, the observed-run dispatcher, the
+// CLIs, and the cross-controller conformance suite all consult this table,
+// so adding a controller here is the one required registration step (see
+// docs/CONTROLLERS.md for the full recipe).
+type ControllerInfo struct {
+	// Name is the spec string selecting the controller.
+	Name string
+	// Summary is the one-line catalog description surfaced in docs and CLI
+	// help.
+	Summary string
+	// ReconfiguresDuringFaults declares that the controller may change the
+	// configuration while a fault window is active. The conformance suite
+	// exempts such controllers from the no-reconfiguration-during-faults
+	// contract; every other controller is held to it.
+	ReconfiguresDuringFaults bool
+}
+
+// controllerRegistry lists every controller in its canonical order.
+// back-pressure acts on every batch (its PID deliberately fights faults)
+// and the BayesOpt baseline predates fault admission, so both opt into
+// reconfiguring during fault windows; the rest are failure-aware.
+var controllerRegistry = []ControllerInfo{
+	{Name: ControllerStatic, Summary: "holds the initial configuration for the whole run"},
+	{Name: ControllerNoStop, Summary: "the paper's failure-aware SPSA controller (§5)"},
+	{Name: ControllerBackPressure, Summary: "Spark's PID back-pressure on the ingest cap", ReconfiguresDuringFaults: true},
+	{Name: ControllerBayesOpt, Summary: "Bayesian-optimization baseline over the two paper parameters", ReconfiguresDuringFaults: true},
+	{Name: ControllerGP, Summary: "uncertainty-aware GP tuner over the widened config space"},
+	{Name: ControllerRL, Summary: "tabular Q-learning tuner over the widened config space"},
+}
+
+// Controllers returns the registry entries in canonical order.
+func Controllers() []ControllerInfo {
+	return append([]ControllerInfo(nil), controllerRegistry...)
+}
+
+// ControllerNames returns the registered controller names in canonical
+// order.
+func ControllerNames() []string {
+	names := make([]string, len(controllerRegistry))
+	for i, c := range controllerRegistry {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// KnownController reports whether name is a registered controller.
+func KnownController(name string) bool {
+	_, ok := LookupController(name)
+	return ok
+}
+
+// LookupController returns the registry entry for name.
+func LookupController(name string) (ControllerInfo, bool) {
+	for _, c := range controllerRegistry {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ControllerInfo{}, false
+}
+
+// UnknownControllerError is the shared rejection for an unregistered
+// controller name. Both the fleet spec validator and the scenario spec
+// validator return exactly this error, so a typo fails with identical text
+// whichever decoder sees it first.
+func UnknownControllerError(name string) error {
+	return fmt.Errorf("fleet: unknown controller %q (want %s)", name, strings.Join(ControllerNames(), ", "))
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllConstants(t *testing.T) {
+	for _, name := range []string{ControllerStatic, ControllerNoStop, ControllerBackPressure,
+		ControllerBayesOpt, ControllerGP, ControllerRL} {
+		if !KnownController(name) {
+			t.Errorf("constant %q not registered", name)
+		}
+		info, ok := LookupController(name)
+		if !ok || info.Name != name {
+			t.Errorf("LookupController(%q) = %+v, %v", name, info, ok)
+		}
+		if info.Summary == "" {
+			t.Errorf("controller %q has no summary", name)
+		}
+	}
+	if KnownController("pid") {
+		t.Error("unregistered name accepted")
+	}
+	if _, ok := LookupController("pid"); ok {
+		t.Error("LookupController found an unregistered name")
+	}
+	if got, want := len(ControllerNames()), len(Controllers()); got != want {
+		t.Errorf("ControllerNames has %d entries, Controllers %d", got, want)
+	}
+}
+
+func TestRegistryFaultOptIns(t *testing.T) {
+	// Only the two pre-contract baselines may reconfigure during an active
+	// fault window; every controller added since is failure-aware. Widening
+	// this set is an explicit conformance decision, not a default.
+	optIn := map[string]bool{ControllerBackPressure: true, ControllerBayesOpt: true}
+	for _, info := range Controllers() {
+		if info.ReconfiguresDuringFaults != optIn[info.Name] {
+			t.Errorf("controller %s: ReconfiguresDuringFaults=%v, want %v",
+				info.Name, info.ReconfiguresDuringFaults, optIn[info.Name])
+		}
+	}
+}
+
+func TestUnknownControllerErrorListsRegistry(t *testing.T) {
+	err := UnknownControllerError("pid")
+	if err == nil {
+		t.Fatal("nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"pid"`) {
+		t.Errorf("error %q does not name the offender", msg)
+	}
+	for _, name := range ControllerNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list %s", msg, name)
+		}
+	}
+}

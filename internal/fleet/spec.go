@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"nostop/internal/core"
 	"nostop/internal/faults"
 	"nostop/internal/tenant"
 	"nostop/internal/workload"
@@ -138,7 +139,9 @@ func (s Static) label() string {
 	return fmt.Sprintf("%v/%d", s.Interval, s.Executors)
 }
 
-// Controllers the fleet can attach to a run.
+// Controllers the fleet can attach to a run. The authoritative list —
+// including per-controller conformance metadata — is the registry in
+// registry.go; these constants are the names it registers.
 const (
 	// ControllerStatic holds the initial configuration for the whole run.
 	ControllerStatic = "static"
@@ -148,16 +151,13 @@ const (
 	ControllerBackPressure = "backpressure"
 	// ControllerBayesOpt attaches the Bayesian-optimization baseline.
 	ControllerBayesOpt = "bo"
+	// ControllerGP attaches the uncertainty-aware GP tuner over the
+	// widened config space (internal/gptuner).
+	ControllerGP = "gp"
+	// ControllerRL attaches the tabular Q-learning tuner over the widened
+	// config space (internal/rltuner).
+	ControllerRL = "rl"
 )
-
-// knownController reports whether name is a supported controller.
-func knownController(name string) bool {
-	switch name {
-	case ControllerStatic, ControllerNoStop, ControllerBackPressure, ControllerBayesOpt:
-		return true
-	}
-	return false
-}
 
 // Spec is a declarative sweep: the cross product of every axis below, one
 // job per combination. Empty optional axes (Traces, Plans, Initials)
@@ -189,6 +189,13 @@ type Spec struct {
 	// single workload/controller pair. A spec may combine Mixes with the
 	// single-app axes; the two expand independently.
 	Mixes []tenant.MixSpec `json:"mixes,omitempty"`
+	// Space optionally widens the configuration space every single-app job
+	// tunes over (core.ConfigSpace v1 — see docs/CONTROLLERS.md): the
+	// engine's bounds come from the space, and space-aware controllers
+	// (gp, rl) explore all its axes. Nil keeps the engine's default
+	// two-parameter bounds. omitempty keeps pre-space job hashes — and
+	// therefore cached artifacts — valid.
+	Space *core.ConfigSpace `json:"space,omitempty"`
 }
 
 // normalized returns the spec with every default resolved, so the manifest
@@ -241,8 +248,13 @@ func (s Spec) Validate() error {
 		}
 	}
 	for _, c := range s.Controllers {
-		if !knownController(c) {
-			return fmt.Errorf("fleet: unknown controller %q (want static, nostop, backpressure, or bo)", c)
+		if !KnownController(c) {
+			return UnknownControllerError(c)
+		}
+	}
+	if s.Space != nil {
+		if err := s.Space.Validate(); err != nil {
+			return fmt.Errorf("fleet: space: %v", err)
 		}
 	}
 	if s.Warmup < 0 || s.Warmup >= 1 {
@@ -310,6 +322,7 @@ func (s Spec) Expand() ([]Job, error) {
 								Trace:      tr,
 								Plan:       plan,
 								Initial:    init,
+								Space:      s.Space,
 							})
 						}
 					}
@@ -336,6 +349,11 @@ type Job struct {
 	// single-app job hashes identical to pre-tenant releases, so cached
 	// artifacts stay valid.
 	Mix *tenant.MixSpec `json:"mix,omitempty"`
+	// Space, when non-nil, is the widened configuration space the run tunes
+	// over: it becomes the engine's bounds and the action space of
+	// space-aware controllers. omitempty keeps pre-space job hashes — and
+	// cached artifacts — valid.
+	Space *core.ConfigSpace `json:"space,omitempty"`
 }
 
 // hashVersion is bumped whenever the job encoding or the simulation

@@ -1,0 +1,112 @@
+package gptuner
+
+import (
+	"math"
+	"testing"
+
+	"nostop/internal/baselines"
+	"nostop/internal/rng"
+)
+
+// TestPosteriorVarianceNonNegative sweeps a fitted GP over randomized
+// query points and checks that the predictive variance never goes negative
+// — the invariant the variance gate (and every std computation) rests on.
+func TestPosteriorVarianceNonNegative(t *testing.T) {
+	seed := rng.New(42).Split("gp-variance")
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + seed.Intn(10)
+		dim := 1 + seed.Intn(4)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for j := range xs[i] {
+				xs[i][j] = seed.Float64()
+			}
+			ys[i] = seed.Uniform(1, 40)
+		}
+		gp, err := baselines.NewGP(4.0/19, 1+seed.Float64()*10, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = seed.Uniform(-0.5, 1.5)
+			}
+			_, variance := gp.Predict(x)
+			if variance < 0 || math.IsNaN(variance) {
+				t.Fatalf("trial %d probe %d: posterior variance %v", trial, probe, variance)
+			}
+		}
+		// Training inputs themselves are valid queries too.
+		for i, x := range xs {
+			_, variance := gp.Predict(x)
+			if variance < 0 || math.IsNaN(variance) {
+				t.Fatalf("trial %d: negative variance %v at training point %d", trial, variance, i)
+			}
+		}
+	}
+}
+
+// TestEIZeroAtIncumbent pins the acquisition floor: EI is non-negative
+// everywhere and exactly zero at the incumbent and every other evaluated
+// input, so the search can never re-propose a measured point on surrogate
+// noise.
+func TestEIZeroAtIncumbent(t *testing.T) {
+	seed := rng.New(7).Split("gp-ei")
+	xs := [][]float64{{0.1, 0.2}, {0.5, 0.9}, {0.8, 0.3}, {0.25, 0.6}}
+	ys := []float64{20, 8, 14, 11}
+	gp, err := baselines.NewGP(4.0/19, 25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	best := ys[1] // incumbent: the lowest objective
+	for i, x := range xs {
+		if ei := EI(gp, x, best, xs); ei != 0 {
+			t.Errorf("EI at evaluated point %d = %v, want exactly 0", i, ei)
+		}
+	}
+	// A copy of the incumbent (not the same slice) still floors to zero.
+	if ei := EI(gp, []float64{0.5, 0.9}, best, xs); ei != 0 {
+		t.Errorf("EI at incumbent copy = %v, want exactly 0", ei)
+	}
+	for probe := 0; probe < 200; probe++ {
+		x := []float64{seed.Float64(), seed.Float64()}
+		if ei := EI(gp, x, best, xs); ei < 0 || math.IsNaN(ei) {
+			t.Fatalf("EI(%v) = %v", x, ei)
+		}
+	}
+	// Somewhere the acquisition must be strictly positive, or the search
+	// could never move at all.
+	positive := false
+	for probe := 0; probe < 200 && !positive; probe++ {
+		x := []float64{seed.Float64(), seed.Float64()}
+		positive = EI(gp, x, best, xs) > 0
+	}
+	if !positive {
+		t.Error("EI is zero everywhere on 200 random probes")
+	}
+}
+
+// TestEIDimensionMismatchSkipsEvaluated guards the distance loop: an
+// evaluated input of a different dimension is ignored rather than matched.
+func TestEIDimensionMismatchSkipsEvaluated(t *testing.T) {
+	gp, err := baselines.NewGP(4.0/19, 25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gp.Fit([][]float64{{0.2, 0.2}, {0.7, 0.7}}, []float64{10, 5}); err != nil {
+		t.Fatal(err)
+	}
+	evaluated := [][]float64{{0.2, 0.2}, {0.7, 0.7}, {0.4}} // last: wrong dim
+	if ei := EI(gp, []float64{0.4, 0.4}, 5, evaluated); ei < 0 {
+		t.Errorf("EI = %v, want >= 0", ei)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"nostop/internal/core"
 	"nostop/internal/faults"
 	"nostop/internal/fleet"
 	"nostop/internal/sim"
@@ -140,8 +141,9 @@ type Spec struct {
 	// Workload is the registry name (logreg, linreg, wordcount,
 	// pageanalyze).
 	Workload string `json:"workload"`
-	// Controller is the deployment's tuner: static, nostop, backpressure,
-	// or bo. Empty means static.
+	// Controller is the deployment's tuner, one of the fleet controller
+	// registry names (fleet.ControllerNames; catalog in
+	// docs/CONTROLLERS.md). Empty means static.
 	Controller string `json:"controller,omitempty"`
 	// Seeds are the replication seeds ("1-5" or [1, 2, 3]).
 	Seeds Seeds `json:"seeds"`
@@ -158,6 +160,10 @@ type Spec struct {
 	Initial fleet.Static `json:"initial,omitempty"`
 	// Faults is the optional fault plan every replication replays.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Space optionally widens the configuration space the deployment tunes
+	// over (core.ConfigSpace v1; grammar in docs/CONTROLLERS.md). Nil
+	// keeps the engine's default two-parameter bounds.
+	Space *core.ConfigSpace `json:"space,omitempty"`
 	// Tenancy switches the scenario to multi-tenant mode: replications run
 	// a tenant mix through the cluster allocator instead of a single app,
 	// and SLO predicates may target one tenant with a `<tenant>:` prefix
@@ -270,6 +276,7 @@ func (s Spec) fleetSpec() fleet.Spec {
 		Warmup:      s.Warmup,
 		Traces:      []fleet.TraceSpec{s.Trace},
 		Initials:    []fleet.Static{s.Initial},
+		Space:       s.Space,
 	}
 	if plan, err := s.plan(); err == nil && len(plan) > 0 {
 		fs.Plans = []fleet.NamedPlan{{Name: s.planName(), Faults: plan}}
@@ -385,6 +392,12 @@ func (s Spec) Validate() error {
 	}
 	if err := plan.Validate(); err != nil {
 		return fmt.Errorf("scenario: %v", err)
+	}
+	// Controller names come from the shared fleet registry, and the
+	// rejection is fleet's own error verbatim: an unknown controller fails
+	// with identical text whether a fleet spec or a scenario spec named it.
+	if !fleet.KnownController(s.Controller) {
+		return fleet.UnknownControllerError(s.Controller)
 	}
 	if err := s.fleetSpec().Validate(); err != nil {
 		return fmt.Errorf("scenario: %v", err)
